@@ -1,0 +1,25 @@
+"""Extension ablation — when does MC_TL matter?
+
+Sweeping the fine-cell fraction at fixed geometry maps the regime
+structure: with a vanishing or dominating fine class the mesh is
+effectively single-level (SC_OC ≈ MC_TL); in the paper's regime —
+a minority of fine cells holding a large computation share — MC_TL
+wins clearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import distribution_sensitivity
+
+
+def test_distribution_sensitivity(once):
+    result = once(distribution_sensitivity.run)
+    print("\n" + distribution_sensitivity.report(result))
+    sp = result.speedup
+    # MC_TL never loses badly anywhere in the sweep…
+    assert np.all(sp > 0.9)
+    # …and wins clearly somewhere in the paper-like minority-fine
+    # regime.
+    assert sp.max() > 1.3

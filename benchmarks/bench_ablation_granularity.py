@@ -1,0 +1,24 @@
+"""Extension ablation — automatic granularity selection (paper
+conclusion).
+
+The tuner searches the domain count minimizing (penalized) makespan:
+with free tasks, finer is better (pipelining); adding per-task
+overhead and communication penalties pushes the optimum coarser —
+the trade the paper describes in §IV.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import granularity_study
+
+
+def test_granularity_autotuning(once):
+    result = once(granularity_study.run)
+    print("\n" + granularity_study.report(result))
+    for strategy in ("SC_OC", "MC_TL"):
+        free = result.best_domains(strategy, "free")
+        over = result.best_domains(strategy, "overhead")
+        full = result.best_domains(strategy, "overhead+comm")
+        # Overheads never push the optimum finer.
+        assert over <= free, strategy
+        assert full <= over, strategy

@@ -1,0 +1,41 @@
+"""Ablations — partitioner method and geometric baselines.
+
+1. Recursive bisection vs direct k-way on the multi-constraint MC_TL
+   problem (the paper chose recursive bisection for quality, §V).
+2. RCB / SFC geometric comparators (related work, §VIII): they balance
+   total cost like SC_OC and hence inherit its subiteration imbalance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_rb_vs_kway(once):
+    result = once(ablations.run_method_ablation)
+    print(
+        f"\nRB vs k-way (MC_TL constraints): "
+        f"cut RB={result.cut['recursive']:.0f} "
+        f"kway={result.cut['kway']:.0f}; worst imbalance "
+        f"RB={result.worst_imbalance['recursive']:.3f} "
+        f"kway={result.worst_imbalance['kway']:.3f}"
+    )
+    # Both drivers must produce feasible multi-constraint partitions.
+    assert result.worst_imbalance["recursive"] < 1.6
+    assert result.worst_imbalance["kway"] < 1.8
+
+
+def test_ablation_geometric_baselines(once):
+    result = once(ablations.run_baseline_ablation)
+    print(
+        "\ngeometric baselines (CYLINDER, 64 domains, 16p × 32c): "
+        + "  ".join(
+            f"{s}={result.makespan[s]:.0f}" for s in result.strategies
+        )
+    )
+    # MC_TL beats every single-criterion strategy, including the
+    # geometric ones.
+    for s in ("SC_OC", "RCB", "SFC"):
+        assert (
+            result.makespan["MC_TL"] < result.makespan[s]
+        ), s

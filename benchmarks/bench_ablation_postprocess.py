@@ -1,0 +1,24 @@
+"""Extension ablation — connectivity post-processing (paper
+conclusion).
+
+MC_TL partitions fragment into disconnected components; the
+reconnection pass trades bounded imbalance for fewer fragments and
+less communication.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import postprocess_study
+
+
+def test_postprocess_reconnection(once):
+    result = once(postprocess_study.run)
+    print("\n" + postprocess_study.report(result))
+    # The pass must reduce fragmentation…
+    assert result.fragments_after < result.fragments_before
+    # …and reduce (or at worst keep) cross-process communication.
+    assert result.comm_after <= result.comm_before
+    # Balance stays within the configured ceiling.
+    assert result.imbalance_after <= 1.30 + 1e-9
+    # The makespan must not regress catastrophically (bounded trade).
+    assert result.makespan_after <= 1.3 * result.makespan_before

@@ -1,0 +1,20 @@
+"""§VII perspective — dual-phase MC_TL→SC_OC partitioning.
+
+Paper: "preliminary results suggest that this dual-phase multi-criteria
+partitioning is able to find a favorable compromise between performance
+improvement and communication overhead management."
+"""
+
+from __future__ import annotations
+
+from repro.experiments import dual_phase
+
+
+def test_dual_phase_tradeoff(once):
+    result = once(dual_phase.run)
+    print("\n" + dual_phase.report(result))
+    ms, comm = result.makespan, result.comm_volume
+    # DUAL recovers a large part of MC_TL's gain over SC_OC…
+    assert ms["DUAL"] < ms["SC_OC"]
+    # …while communicating less than full MC_TL at equal domain count.
+    assert comm["DUAL"] < comm["MC_TL"]

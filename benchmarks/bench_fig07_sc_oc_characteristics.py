@@ -1,0 +1,24 @@
+"""Fig. 7 — SC_OC domain characteristics (CYLINDER, 16 proc × 32
+cores).
+
+(a) operating cost per process by temporal level — concentrated:
+processes specialise in one level; (b) cumulative computation per
+subiteration — some processes do nearly everything in subiteration 0.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_10_characteristics as ch
+
+
+def test_fig07_sc_oc_characteristics(once):
+    result = once(ch.run, "SC_OC")
+    print("\n" + ch.report(result))
+    # Total cost balanced across processes (the strategy's objective).
+    assert result.total_cost_imbalance < 1.25
+    # But levels are concentrated: the dominant level holds most of a
+    # process's cost on average.
+    assert result.concentration > 0.55
+    # At least one process does the great majority of its work in the
+    # first subiteration (paper: processes 10–15 "almost entirely").
+    assert result.max_first_subiteration_share > 0.7

@@ -1,0 +1,19 @@
+"""Fig. 8 — task-graph shape on a two-domain toy.
+
+MC_TL gives every domain tasks in every phase of the first
+subiteration; SC_OC leaves some phases single-domain.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_taskgraph_shape
+
+
+def test_fig08_taskgraph_shape(once):
+    result = once(fig08_taskgraph_shape.run)
+    print("\n" + fig08_taskgraph_shape.report(result))
+    # The paper's statement: MC_TL expresses the first subiteration
+    # with more, finer tasks (8 vs 2 in the illustration).
+    assert result.total_tasks["MC_TL"] > result.total_tasks["SC_OC"]
+    assert result.domains_active_every_phase["MC_TL"]
+    assert not result.domains_active_every_phase["SC_OC"]

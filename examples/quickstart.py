@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's pipeline in ~40 lines.
+
+Generates the CYLINDER replica mesh, assigns temporal levels,
+partitions it with both strategies (SC_OC baseline, MC_TL
+contribution), generates the task graphs, simulates them with FLUSIM
+on a virtual cluster, and prints makespans plus ASCII Gantt charts —
+a miniature of the paper's Fig. 9.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.flusim import ClusterConfig, schedule_metrics, simulate
+from repro.mesh import cylinder_mesh
+from repro.partitioning import make_decomposition
+from repro.taskgraph import generate_task_graph
+from repro.temporal import levels_from_depth
+from repro.viz import render_process_gantt
+
+
+def main() -> None:
+    # 1. Mesh + temporal levels (τ = size octave above the finest cell).
+    mesh = cylinder_mesh(max_depth=9)
+    tau = levels_from_depth(mesh, num_levels=4)
+    print(
+        f"mesh: {mesh.num_cells} cells, {mesh.num_faces} faces, "
+        f"{int(tau.max()) + 1} temporal levels"
+    )
+
+    # 2. Virtual cluster: 4 MPI processes × 8 cores, 16 domains.
+    cluster = ClusterConfig(num_processes=4, cores_per_process=8)
+
+    for strategy in ("SC_OC", "MC_TL"):
+        # 3. Partition and map domains to processes.
+        decomp = make_decomposition(
+            mesh, tau, 16, cluster.num_processes, strategy=strategy, seed=0
+        )
+        # 4. Generate one iteration's task graph (Algorithm 1).
+        dag = generate_task_graph(mesh, tau, decomp)
+        # 5. Simulate with FLUSIM (eager scheduling, like StarPU).
+        trace = simulate(dag, cluster)
+        m = schedule_metrics(dag, trace)
+        print(
+            f"\n=== {strategy}: makespan {m.makespan:.0f} work-units, "
+            f"efficiency {m.efficiency:.2f}, {dag.num_tasks} tasks ==="
+        )
+        print(render_process_gantt(trace, dag, width=96))
+
+    print(
+        "\nDigits = subiteration being executed, '.' = idle. "
+        "Note SC_OC's idle blocks versus MC_TL's dense rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

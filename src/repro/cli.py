@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print the replica Table I with paper reference rows.
+``experiment <name>``
+    Run one experiment harness (fig05, fig06, fig07, fig08, fig09,
+    fig10, fig11, fig12, fig13, dual) and print its report.
+``gantt``
+    Simulate a case and print the composite-process Gantt chart for
+    both strategies.
+``mesh <name>``
+    Generate a replica mesh, print its summary, optionally save it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import table1
+
+    print(table1.report(table1.run(scale=args.scale)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    name = args.name
+    scale = args.scale
+    if name == "fig05":
+        print(ex.fig05_validation.report(ex.fig05_validation.run(scale=scale)))
+    elif name == "fig06":
+        print(ex.fig06_unbounded.report(ex.fig06_unbounded.run(scale=scale)))
+    elif name in ("fig07", "fig10"):
+        strategy = "SC_OC" if name == "fig07" else "MC_TL"
+        print(
+            ex.fig07_10_characteristics.report(
+                ex.fig07_10_characteristics.run(strategy, scale=scale)
+            )
+        )
+    elif name == "fig08":
+        print(
+            ex.fig08_taskgraph_shape.report(ex.fig08_taskgraph_shape.run())
+        )
+    elif name == "fig09":
+        print(ex.fig09_speedup.report(ex.fig09_speedup.run(scale=scale)))
+    elif name == "fig11":
+        print(ex.fig11_sweep.report(ex.fig11_sweep.run(scale=scale)))
+    elif name == "fig12":
+        print(ex.fig12_nozzle.report(ex.fig12_nozzle.run(scale=scale)))
+    elif name == "fig13":
+        print(ex.fig13_production.report(ex.fig13_production.run(scale=scale)))
+    elif name == "dual":
+        print(ex.dual_phase.report(ex.dual_phase.run(scale=scale)))
+    elif name == "comm":
+        print(
+            ex.comm_sensitivity.report(ex.comm_sensitivity.run(scale=scale))
+        )
+    elif name == "postprocess":
+        print(
+            ex.postprocess_study.report(ex.postprocess_study.run(scale=scale))
+        )
+    elif name == "granularity":
+        print(
+            ex.granularity_study.report(
+                ex.granularity_study.run(scale=scale)
+            )
+        )
+    elif name == "levels":
+        print(
+            ex.level_evolution.report(ex.level_evolution.run(scale=scale))
+        )
+    elif name == "runtime":
+        print(
+            ex.runtime_validation.report(
+                ex.runtime_validation.run(scale=scale)
+            )
+        )
+    elif name == "octree3d":
+        print(ex.octree3d.report(ex.octree3d.run()))
+    elif name == "multi":
+        print(
+            ex.multi_iteration.report(ex.multi_iteration.run(scale=scale))
+        )
+    elif name == "scaling":
+        print(
+            ex.strong_scaling.report(ex.strong_scaling.run(scale=scale))
+        )
+    elif name == "distribution":
+        print(
+            ex.distribution_sensitivity.report(
+                ex.distribution_sensitivity.run()
+            )
+        )
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .experiments.common import run_flusim
+    from .viz import render_process_gantt
+
+    for strategy in ("SC_OC", "MC_TL"):
+        dag, trace, metrics = run_flusim(
+            args.mesh,
+            args.domains,
+            args.processes,
+            args.cores,
+            strategy,
+            scale=args.scale,
+        )
+        print(f"=== {strategy}: makespan {metrics.makespan:.0f}, "
+              f"efficiency {metrics.efficiency:.2f} ===")
+        print(render_process_gantt(trace, dag, width=args.width))
+        print()
+    return 0
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    from .experiments.common import standard_case
+    from .mesh import format_table1_row, level_statistics, save_mesh
+
+    mesh, tau = standard_case(args.name, scale=args.scale)
+    print(format_table1_row(args.name.upper(), level_statistics(mesh, tau)))
+    print(mesh.summary())
+    if args.map:
+        from .viz import render_level_map
+
+        print("\ntemporal-level map (paper Fig. 3 analogue):")
+        print(render_level_map(mesh, tau, width=72, height=30))
+    if args.output:
+        save_mesh(mesh, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print replica Table I")
+    p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("experiment", help="run one experiment harness")
+    p.add_argument(
+        "name",
+        choices=[
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "dual",
+            "comm",
+            "postprocess",
+            "granularity",
+            "levels",
+            "runtime",
+            "octree3d",
+            "multi",
+            "scaling",
+            "distribution",
+        ],
+    )
+    p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("gantt", help="print Gantt charts for both strategies")
+    p.add_argument("--mesh", default="cylinder")
+    p.add_argument("--domains", type=int, default=32)
+    p.add_argument("--processes", type=int, default=8)
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--scale", type=int, default=None)
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser("mesh", help="generate and inspect a replica mesh")
+    p.add_argument("name", choices=["cylinder", "cube", "pprime_nozzle", "uniform"])
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--output", default=None, help="save as .npz")
+    p.add_argument(
+        "--map", action="store_true", help="print the ASCII τ map"
+    )
+    p.set_defaults(func=_cmd_mesh)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Provides the *standard cases* — replica mesh + temporal levels matching
+the paper's Table I — and memoization of meshes and partitions so that
+the benchmark suite does not regenerate/re-partition the same inputs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..flusim import ClusterConfig, schedule_metrics, simulate
+from ..mesh import MESH_FACTORIES, Mesh
+from ..partitioning import DomainDecomposition, make_decomposition
+from ..taskgraph import generate_task_graph
+
+__all__ = [
+    "NUM_LEVELS",
+    "PAPER_CONFIGS",
+    "standard_case",
+    "cached_decomposition",
+    "cached_task_graph",
+    "run_flusim",
+]
+
+#: Temporal level count per mesh (Table I).
+NUM_LEVELS = {"cylinder": 4, "cube": 4, "pprime_nozzle": 3}
+
+#: The cluster/domain configurations used in the paper's experiments.
+PAPER_CONFIGS = {
+    # Fig 5/12/13: nozzle on 6 processes of 4 cores, 12 domains.
+    "nozzle_validation": dict(
+        mesh="pprime_nozzle", domains=12, processes=6, cores=4
+    ),
+    # Fig 6: 64 domains on 64 processes, unbounded cores.
+    "unbounded": dict(mesh="cylinder", domains=64, processes=64, cores=None),
+    # Fig 7/10: 16 processes of 32 cores, 16 domains.
+    "characteristics": dict(
+        mesh="cylinder", domains=16, processes=16, cores=32
+    ),
+    # Fig 9: 128 domains on 16 processes of 32 cores.
+    "speedup": dict(domains=128, processes=16, cores=32),
+}
+
+
+@lru_cache(maxsize=8)
+def _mesh(name: str, scale: int | None) -> Mesh:
+    factory = MESH_FACTORIES[name]
+    return factory() if scale is None else factory(max_depth=scale)
+
+
+@lru_cache(maxsize=8)
+def _case(name: str, scale: int | None) -> tuple[Mesh, np.ndarray]:
+    from ..temporal import levels_from_depth
+
+    mesh = _mesh(name, scale)
+    tau = levels_from_depth(mesh, num_levels=NUM_LEVELS.get(name))
+    return mesh, tau
+
+
+def standard_case(name: str, *, scale: int | None = None):
+    """Return ``(mesh, tau)`` for a named replica mesh.
+
+    ``scale`` overrides the generator's default ``max_depth`` (smaller
+    = fewer cells = faster experiments).  Results are memoized.
+    """
+    if name not in MESH_FACTORIES:
+        raise ValueError(f"unknown mesh {name!r}")
+    return _case(name, scale)
+
+
+@lru_cache(maxsize=64)
+def _decomp_cached(
+    name: str,
+    scale: int | None,
+    domains: int,
+    processes: int,
+    strategy: str,
+    seed: int,
+) -> DomainDecomposition:
+    mesh, tau = standard_case(name, scale=scale)
+    return make_decomposition(
+        mesh, tau, domains, processes, strategy=strategy, seed=seed
+    )
+
+
+def cached_decomposition(
+    name: str,
+    domains: int,
+    processes: int,
+    strategy: str,
+    *,
+    scale: int | None = None,
+    seed: int = 0,
+) -> DomainDecomposition:
+    """Memoized :func:`repro.partitioning.make_decomposition` on a
+    standard case."""
+    return _decomp_cached(name, scale, domains, processes, strategy, seed)
+
+
+@lru_cache(maxsize=64)
+def cached_task_graph(
+    name: str,
+    domains: int,
+    processes: int,
+    strategy: str,
+    scale: int | None = None,
+    seed: int = 0,
+):
+    """Memoized task graph for a standard case + decomposition."""
+    mesh, tau = standard_case(name, scale=scale)
+    decomp = cached_decomposition(
+        name, domains, processes, strategy, scale=scale, seed=seed
+    )
+    return generate_task_graph(mesh, tau, decomp)
+
+
+def run_flusim(
+    name: str,
+    domains: int,
+    processes: int,
+    cores: int | None,
+    strategy: str,
+    *,
+    scale: int | None = None,
+    seed: int = 0,
+    scheduler: str = "eager",
+):
+    """One FLUSIM run on a standard case; returns
+    ``(dag, trace, metrics)``."""
+    dag = cached_task_graph(
+        name, domains, processes, strategy, scale=scale, seed=seed
+    )
+    cluster = ClusterConfig(processes, cores)
+    trace = simulate(dag, cluster, scheduler=scheduler, seed=seed)
+    return dag, trace, schedule_metrics(dag, trace)

@@ -1,0 +1,107 @@
+"""Figs. 7 and 10 — domain characteristics under SC_OC vs MC_TL.
+
+For the CYLINDER case on 16 processes (32 cores each):
+
+* (a) the operating cost held by each process, broken down by temporal
+  level — SC_OC concentrates each process in one level, MC_TL spreads
+  every level across all processes;
+* (b) the cumulative computation each process performs per
+  subiteration — under SC_OC, processes 10–15 do nearly all their work
+  in the first subiteration and then starve; under MC_TL every row is
+  flat.
+
+The result carries both matrices plus scalar *concentration* metrics
+so benchmarks can assert the paper's qualitative claims numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..taskgraph.analysis import (
+    operating_cost_by_process_level,
+    work_by_process_subiteration,
+)
+from .common import cached_decomposition, cached_task_graph, standard_case
+
+__all__ = ["CharacteristicsResult", "run", "report", "level_concentration"]
+
+
+def level_concentration(cost_by_level: np.ndarray) -> float:
+    """Mean over processes of the share held by the dominant temporal
+    level (1.0 = every process fully single-level; 1/L = perfectly
+    mixed)."""
+    totals = cost_by_level.sum(axis=1, keepdims=True)
+    totals = np.maximum(totals, 1e-300)
+    return float((cost_by_level.max(axis=1, keepdims=True) / totals).mean())
+
+
+def first_subiteration_share(work_by_sub: np.ndarray) -> np.ndarray:
+    """Per-process share of work done in the first subiteration."""
+    totals = np.maximum(work_by_sub.sum(axis=1), 1e-300)
+    return work_by_sub[:, 0] / totals
+
+
+@dataclass
+class CharacteristicsResult:
+    """Fig. 7/10 matrices and concentration summaries per strategy."""
+
+    strategy: str
+    cost_by_process_level: np.ndarray  # (P, L) — panel (a)
+    work_by_process_subiteration: np.ndarray  # (P, S) — panel (b)
+    concentration: float
+    max_first_subiteration_share: float
+    total_cost_imbalance: float  # max/mean of per-process total cost
+
+
+def run(
+    strategy: str,
+    *,
+    mesh_name: str = "cylinder",
+    domains: int = 16,
+    processes: int = 16,
+    scale: int | None = None,
+    seed: int = 0,
+) -> CharacteristicsResult:
+    """Compute the Fig. 7 (SC_OC) or Fig. 10 (MC_TL) matrices."""
+    mesh, tau = standard_case(mesh_name, scale=scale)
+    decomp = cached_decomposition(
+        mesh_name, domains, processes, strategy, scale=scale, seed=seed
+    )
+    dag = cached_task_graph(
+        mesh_name, domains, processes, strategy, scale=scale, seed=seed
+    )
+    cost_lv = operating_cost_by_process_level(tau, decomp)
+    work_sub = work_by_process_subiteration(dag, processes)
+    totals = cost_lv.sum(axis=1)
+    return CharacteristicsResult(
+        strategy=strategy,
+        cost_by_process_level=cost_lv,
+        work_by_process_subiteration=work_sub,
+        concentration=level_concentration(cost_lv),
+        max_first_subiteration_share=float(
+            first_subiteration_share(work_sub).max()
+        ),
+        total_cost_imbalance=float(totals.max() / totals.mean()),
+    )
+
+
+def report(r: CharacteristicsResult) -> str:
+    """Render both panels as stacked bars plus the summary line."""
+    from ..viz import render_stacked_bars
+
+    parts = [
+        f"--- {r.strategy}: operating cost by temporal level (Fig 7a/10a) ---",
+        render_stacked_bars(r.cost_by_process_level),
+        f"--- {r.strategy}: work by subiteration (Fig 7b/10b) ---",
+        render_stacked_bars(r.work_by_process_subiteration),
+        (
+            f"{r.strategy}: dominant-level concentration "
+            f"{r.concentration:.2f}, max first-subiteration share "
+            f"{r.max_first_subiteration_share:.2f}, total-cost imbalance "
+            f"{r.total_cost_imbalance:.3f}"
+        ),
+    ]
+    return "\n".join(parts)

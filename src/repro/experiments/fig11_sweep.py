@@ -1,0 +1,95 @@
+"""Fig. 11 — behaviour vs the number of domains.
+
+(a) Makespan ratio SC_OC/MC_TL for increasing domain counts: MC_TL
+always wins (ratio > 1) and the ratio decreases for larger counts —
+finer granularity lets pipelining partially hide SC_OC's imbalance.
+
+(b) Estimated communication volume (task-graph edges crossing process
+boundaries): MC_TL pays more communication, increasingly so with the
+domain count, since balancing all levels breaks domain contiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..flusim import taskgraph_comm_volume
+from .common import cached_task_graph, run_flusim
+
+__all__ = ["Fig11Result", "run", "report"]
+
+
+@dataclass
+class Fig11Result:
+    """Sweep series per mesh: ratios and communication volumes."""
+
+    meshes: list[str]
+    domain_counts: list[int]
+    # mesh -> array over domain_counts
+    ratio: dict[str, np.ndarray]  # makespan SC_OC / MC_TL (Fig 11a)
+    comm_sc_oc: dict[str, np.ndarray]  # (Fig 11b)
+    comm_mc_tl: dict[str, np.ndarray]
+
+
+def run(
+    *,
+    meshes: tuple[str, ...] = ("cylinder", "cube"),
+    domain_counts: tuple[int, ...] = (16, 32, 64, 128),
+    processes: int = 16,
+    cores: int = 32,
+    scale: int | None = None,
+    seed: int = 0,
+) -> Fig11Result:
+    """Sweep the domain count for both strategies and meshes."""
+    ratio: dict[str, np.ndarray] = {}
+    c_sc: dict[str, np.ndarray] = {}
+    c_mc: dict[str, np.ndarray] = {}
+    for name in meshes:
+        rr, cs, cm = [], [], []
+        for nd in domain_counts:
+            _, _, m_sc = run_flusim(
+                name, nd, processes, cores, "SC_OC", scale=scale, seed=seed
+            )
+            _, _, m_mc = run_flusim(
+                name, nd, processes, cores, "MC_TL", scale=scale, seed=seed
+            )
+            rr.append(m_sc.makespan / m_mc.makespan)
+            dag_sc = cached_task_graph(
+                name, nd, processes, "SC_OC", scale=scale, seed=seed
+            )
+            dag_mc = cached_task_graph(
+                name, nd, processes, "MC_TL", scale=scale, seed=seed
+            )
+            cs.append(taskgraph_comm_volume(dag_sc))
+            cm.append(taskgraph_comm_volume(dag_mc))
+        ratio[name] = np.array(rr)
+        c_sc[name] = np.array(cs, dtype=np.int64)
+        c_mc[name] = np.array(cm, dtype=np.int64)
+    return Fig11Result(
+        meshes=list(meshes),
+        domain_counts=list(domain_counts),
+        ratio=ratio,
+        comm_sc_oc=c_sc,
+        comm_mc_tl=c_mc,
+    )
+
+
+def report(r: Fig11Result) -> str:
+    """Tabulate the sweep series."""
+    lines = ["domains: " + "  ".join(f"{d:>6d}" for d in r.domain_counts)]
+    for name in r.meshes:
+        lines.append(
+            f"{name:>9s} ratio SC_OC/MC_TL: "
+            + "  ".join(f"{v:6.2f}" for v in r.ratio[name])
+        )
+        lines.append(
+            f"{name:>9s} comm SC_OC: "
+            + "  ".join(f"{v:6d}" for v in r.comm_sc_oc[name])
+        )
+        lines.append(
+            f"{name:>9s} comm MC_TL: "
+            + "  ".join(f"{v:6d}" for v in r.comm_mc_tl[name])
+        )
+    return "\n".join(lines)

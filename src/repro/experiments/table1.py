@@ -1,0 +1,83 @@
+"""Table I — test-mesh characteristics.
+
+For each replica mesh: per-τ cell counts, %cells and %computation,
+side by side with the paper's numbers for the original Airbus meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh import format_table1_row, level_statistics
+from ..mesh.generators import PAPER_CELL_COUNTS, PAPER_CELL_FRACTIONS
+from .common import standard_case
+
+__all__ = ["Table1Result", "run", "report"]
+
+#: Paper "%Computation" rows (per τ ascending) for reference.
+PAPER_COMPUTATION_FRACTIONS = {
+    "cylinder": np.array([0.044, 0.113, 0.432, 0.412]),
+    "cube": np.array([0.097, 0.386, 0.004, 0.513]),
+    "pprime_nozzle": np.array([0.284, 0.383, 0.333]),
+}
+
+
+@dataclass
+class Table1Result:
+    """Replica-vs-paper statistics for the three meshes."""
+
+    names: list[str]
+    replica_counts: dict[str, np.ndarray]
+    replica_cell_fraction: dict[str, np.ndarray]
+    replica_computation_fraction: dict[str, np.ndarray]
+    paper_cell_fraction: dict[str, np.ndarray]
+    paper_computation_fraction: dict[str, np.ndarray]
+    paper_counts: dict[str, int]
+
+
+def run(*, scale: int | None = None) -> Table1Result:
+    """Compute Table I for the replica meshes."""
+    names = ["cylinder", "cube", "pprime_nozzle"]
+    counts, cf, wf = {}, {}, {}
+    for name in names:
+        mesh, tau = standard_case(name, scale=scale)
+        st = level_statistics(mesh, tau)
+        counts[name] = st.counts
+        cf[name] = st.cell_fraction
+        wf[name] = st.computation_fraction
+    return Table1Result(
+        names=names,
+        replica_counts=counts,
+        replica_cell_fraction=cf,
+        replica_computation_fraction=wf,
+        paper_cell_fraction=dict(PAPER_CELL_FRACTIONS),
+        paper_computation_fraction=dict(PAPER_COMPUTATION_FRACTIONS),
+        paper_counts=dict(PAPER_CELL_COUNTS),
+    )
+
+
+def report(result: Table1Result) -> str:
+    """Render the replica Table I with paper reference rows."""
+    blocks = []
+    for name in result.names:
+        mesh, tau = standard_case(name)
+        st = level_statistics(mesh, tau)
+        block = [format_table1_row(name.upper(), st)]
+        block.append(
+            "paper %Cells "
+            + "".join(
+                f"  {100 * f:<9.1f}%" for f in result.paper_cell_fraction[name]
+            )
+            + f"   (original total {result.paper_counts[name]:,} cells)"
+        )
+        block.append(
+            "paper %Comp  "
+            + "".join(
+                f"  {100 * f:<9.1f}%"
+                for f in result.paper_computation_fraction[name]
+            )
+        )
+        blocks.append("\n".join(block))
+    return "\n\n".join(blocks)

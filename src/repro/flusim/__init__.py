@@ -1,0 +1,30 @@
+"""FLUSIM: discrete-event simulation of the solver's task graph on a
+virtual cluster (reimplementation of the paper's §III-A submodule)."""
+
+from .cluster import UNBOUNDED, ClusterConfig
+from .commmodel import CommModel
+from .comm import (
+    cut_faces_between_domains,
+    cut_faces_between_processes,
+    taskgraph_comm_volume,
+)
+from .metrics import ScheduleMetrics, schedule_metrics, subiteration_balance
+from .schedulers import SCHEDULERS, make_scheduler
+from .simulator import simulate
+from .trace import Trace
+
+__all__ = [
+    "ClusterConfig",
+    "UNBOUNDED",
+    "CommModel",
+    "simulate",
+    "Trace",
+    "ScheduleMetrics",
+    "schedule_metrics",
+    "subiteration_balance",
+    "make_scheduler",
+    "SCHEDULERS",
+    "taskgraph_comm_volume",
+    "cut_faces_between_domains",
+    "cut_faces_between_processes",
+]

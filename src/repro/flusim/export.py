@@ -1,0 +1,129 @@
+"""Trace export: JSON, CSV and Paje formats.
+
+The paper's figures are Gantt charts rendered from execution traces
+(FLUSEPA's come from StarPU's FXT/Paje toolchain).  This module writes
+:class:`~repro.flusim.trace.Trace` objects to:
+
+* **JSON** — self-describing, one record per task, for notebooks;
+* **CSV** — flat table for spreadsheets / pandas;
+* **Paje** — the trace format of the ViTE visualizer used by the
+  StarPU ecosystem, so traces from this repo can be eyeballed with the
+  same tooling as the paper's.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..taskgraph.dag import TaskDAG
+from ..taskgraph.task import Locality, ObjectType
+from .trace import Trace
+
+__all__ = ["trace_to_records", "write_json", "write_csv", "write_paje"]
+
+
+def trace_to_records(trace: Trace, dag: TaskDAG) -> list[dict]:
+    """Flatten a trace into one dict per task."""
+    t = dag.tasks
+    out = []
+    for i in range(dag.num_tasks):
+        out.append(
+            {
+                "task": i,
+                "process": int(trace.process[i]),
+                "worker": int(trace.worker[i]),
+                "start": float(trace.start[i]),
+                "end": float(trace.end[i]),
+                "subiteration": int(t.subiteration[i]),
+                "phase_tau": int(t.phase_tau[i]),
+                "type": ObjectType(int(t.obj_type[i])).name,
+                "locality": Locality(int(t.locality[i])).name,
+                "domain": int(t.domain[i]),
+                "num_objects": int(t.num_objects[i]),
+            }
+        )
+    return out
+
+
+def write_json(trace: Trace, dag: TaskDAG, path: str | Path) -> None:
+    """Write the trace as a JSON document with a small header."""
+    doc = {
+        "num_processes": trace.num_processes,
+        "cores_per_process": trace.cores_per_process,
+        "makespan": trace.makespan,
+        "tasks": trace_to_records(trace, dag),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def write_csv(trace: Trace, dag: TaskDAG, path: str | Path) -> None:
+    """Write the trace as a flat CSV table."""
+    records = trace_to_records(trace, dag)
+    fields = list(records[0].keys()) if records else ["task"]
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(records)
+
+
+_PAJE_HEADER = """\
+%EventDef PajeDefineContainerType 1
+% Alias string
+% Type string
+% Name string
+%EndEventDef
+%EventDef PajeDefineStateType 2
+% Alias string
+% Type string
+% Name string
+%EndEventDef
+%EventDef PajeCreateContainer 3
+% Time date
+% Alias string
+% Type string
+% Container string
+% Name string
+%EndEventDef
+%EventDef PajeSetState 4
+% Time date
+% Type string
+% Container string
+% Value string
+%EndEventDef
+1 CT_Proc 0 Process
+1 CT_Worker CT_Proc Worker
+2 ST_Task CT_Worker State
+"""
+
+
+def write_paje(trace: Trace, dag: TaskDAG, path: str | Path) -> None:
+    """Write the trace in the Paje format (ViTE-compatible).
+
+    Containers: one per process, one per (process, worker); states:
+    ``s<subiteration>`` while a task runs, ``idle`` otherwise.
+    """
+    t = dag.tasks
+    lines = [_PAJE_HEADER]
+    workers = sorted(
+        {
+            (int(trace.process[i]), int(trace.worker[i]))
+            for i in range(dag.num_tasks)
+        }
+    )
+    for p in sorted({w[0] for w in workers}):
+        lines.append(f'3 0.0 P{p} CT_Proc 0 "Process {p}"')
+    for p, w in workers:
+        lines.append(f'3 0.0 P{p}W{w} CT_Worker P{p} "Worker {p}.{w}"')
+    order = sorted(
+        range(dag.num_tasks), key=lambda i: (trace.start[i], trace.end[i])
+    )
+    for i in order:
+        p, w = int(trace.process[i]), int(trace.worker[i])
+        lines.append(
+            f"4 {trace.start[i]:.9f} ST_Task P{p}W{w} "
+            f"s{int(t.subiteration[i])}"
+        )
+        lines.append(f"4 {trace.end[i]:.9f} ST_Task P{p}W{w} idle")
+    Path(path).write_text("\n".join(lines) + "\n")

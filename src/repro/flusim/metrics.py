@@ -1,0 +1,74 @@
+"""Schedule-quality metrics derived from traces.
+
+Everything the experiment harnesses report: makespan, speedup ratios,
+efficiency, per-subiteration balance scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..taskgraph.dag import TaskDAG
+from .trace import Trace
+
+__all__ = ["ScheduleMetrics", "schedule_metrics", "subiteration_balance"]
+
+
+@dataclass
+class ScheduleMetrics:
+    """Summary metrics of a simulated schedule.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time of the iteration.
+    total_work:
+        Sum of task durations (invariant across partitioning
+        strategies).
+    efficiency:
+        Busy core-time over available core-time in [0, 1].
+    critical_path:
+        DAG critical-path length (schedule lower bound).
+    mean_process_idle_fraction:
+        Composite-process idle share (Fig. 6 quantity).
+    """
+
+    makespan: float
+    total_work: float
+    efficiency: float
+    critical_path: float
+    mean_process_idle_fraction: float
+
+
+def schedule_metrics(dag: TaskDAG, trace: Trace) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a simulated trace."""
+    cp, _ = dag.critical_path()
+    return ScheduleMetrics(
+        makespan=trace.makespan,
+        total_work=float((trace.end - trace.start).sum()),
+        efficiency=trace.efficiency(),
+        critical_path=cp,
+        mean_process_idle_fraction=trace.total_process_idle_fraction(),
+    )
+
+
+def subiteration_balance(dag: TaskDAG, num_processes: int) -> np.ndarray:
+    """Per-subiteration imbalance of the *injected* workload.
+
+    For each subiteration: ``max_p W_ps / mean_p W_ps`` where ``W_ps``
+    is the work of subiteration ``s`` owned by process ``p``.  A value
+    of 1.0 means the subiteration's work is perfectly spread (MC_TL's
+    goal); large values mean a few processes carry the subiteration
+    while others starve (the SC_OC pathology).
+    """
+    t = dag.tasks
+    nsub = int(t.subiteration.max()) + 1 if t.num_tasks else 1
+    w = np.zeros((num_processes, nsub), dtype=np.float64)
+    np.add.at(w, (t.process, t.subiteration), t.cost)
+    mean = w.mean(axis=0)
+    out = np.ones(nsub, dtype=np.float64)
+    nz = mean > 0
+    out[nz] = w[:, nz].max(axis=0) / mean[nz]
+    return out

@@ -1,0 +1,158 @@
+"""Per-process ready-queue scheduling strategies.
+
+FLUSIM executes the task graph with list scheduling: each process owns
+the tasks of its domains, and whenever one of its cores is free the
+process's *strategy* picks the next ready task.  The paper's runs use
+StarPU's **eager** policy (FIFO on ready order); the alternatives here
+support the §III-C analysis that scheduling policy is *not* the root
+cause of idleness, plus ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "ReadyQueue",
+    "FifoQueue",
+    "LifoQueue",
+    "PriorityQueue",
+    "RandomQueue",
+    "make_scheduler",
+    "SCHEDULERS",
+]
+
+
+class ReadyQueue(Protocol):
+    """One process's pool of ready tasks."""
+
+    def push(self, task: int, ready_time: float) -> None:
+        """Add a task that just became ready."""
+        ...
+
+    def pop(self) -> int:
+        """Remove and return the next task to run."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class FifoQueue:
+    """Eager/FIFO: run tasks in the order they became ready (StarPU's
+    ``eager`` policy, the paper's default)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []
+        self._counter = 0
+
+    def push(self, task: int, ready_time: float) -> None:
+        heapq.heappush(self._heap, (ready_time, self._counter, task))
+        self._counter += 1
+
+    def pop(self) -> int:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class LifoQueue:
+    """LIFO: depth-first execution, maximizes locality."""
+
+    def __init__(self) -> None:
+        self._stack: list[int] = []
+
+    def push(self, task: int, ready_time: float) -> None:
+        self._stack.append(task)
+
+    def pop(self) -> int:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class PriorityQueue:
+    """Static-priority queue: highest priority first.
+
+    With priorities = DAG bottom levels this is the classic
+    critical-path-first (HEFT-style) list scheduler; with priorities =
+    task cost it becomes LJF/SJF.
+    """
+
+    def __init__(self, priority: np.ndarray) -> None:
+        self._priority = priority
+        self._heap: list[tuple[float, int, int]] = []
+        self._counter = 0
+
+    def push(self, task: int, ready_time: float) -> None:
+        heapq.heappush(
+            self._heap, (-float(self._priority[task]), self._counter, task)
+        )
+        self._counter += 1
+
+    def pop(self) -> int:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class RandomQueue:
+    """Uniformly random choice among ready tasks (control strategy)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._items: list[int] = []
+
+    def push(self, task: int, ready_time: float) -> None:
+        self._items.append(task)
+
+    def pop(self) -> int:
+        i = int(self._rng.integers(len(self._items)))
+        self._items[i], self._items[-1] = self._items[-1], self._items[i]
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def make_scheduler(
+    name: str,
+    *,
+    bottom_levels: np.ndarray | None = None,
+    costs: np.ndarray | None = None,
+    seed: int = 0,
+):
+    """Return a factory of fresh :class:`ReadyQueue` objects.
+
+    ``name`` ∈ ``{"eager", "lifo", "cp", "sjf", "ljf", "random"}``.
+    ``cp`` needs ``bottom_levels``; ``sjf``/``ljf`` need ``costs``.
+    """
+    if name == "eager":
+        return FifoQueue
+    if name == "lifo":
+        return LifoQueue
+    if name == "cp":
+        if bottom_levels is None:
+            raise ValueError("cp scheduler needs bottom_levels")
+        return lambda: PriorityQueue(bottom_levels)
+    if name == "ljf":
+        if costs is None:
+            raise ValueError("ljf scheduler needs costs")
+        return lambda: PriorityQueue(costs)
+    if name == "sjf":
+        if costs is None:
+            raise ValueError("sjf scheduler needs costs")
+        return lambda: PriorityQueue(-np.asarray(costs))
+    if name == "random":
+        rng = np.random.default_rng(seed)
+        return lambda: RandomQueue(rng)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+#: Names accepted by :func:`make_scheduler`.
+SCHEDULERS = ("eager", "lifo", "cp", "sjf", "ljf", "random")

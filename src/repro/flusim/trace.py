@@ -1,0 +1,119 @@
+"""Execution traces and their analysis.
+
+A trace records, per task: process, worker, start and end time — the
+information behind every Gantt chart in the paper.  Analysis helpers
+compute busy/idle profiles at worker, process ("composite resource",
+Fig. 6) and subiteration granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..taskgraph.dag import TaskDAG
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """The result of simulating (or replaying) a task graph.
+
+    Parallel arrays indexed by task id.
+    """
+
+    process: np.ndarray  # (T,) int32
+    worker: np.ndarray  # (T,) int32 — worker index within the process
+    start: np.ndarray  # (T,) float64
+    end: np.ndarray  # (T,) float64
+    num_processes: int
+    cores_per_process: int
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task."""
+        return float(self.end.max()) if len(self.end) else 0.0
+
+    def busy_time_per_process(self) -> np.ndarray:
+        """Total task time executed by each process."""
+        out = np.zeros(self.num_processes, dtype=np.float64)
+        np.add.at(out, self.process, self.end - self.start)
+        return out
+
+    def efficiency(self) -> float:
+        """Parallel efficiency: busy core-time over available core-time."""
+        span = self.makespan
+        if span <= 0:
+            return 1.0
+        total = float((self.end - self.start).sum())
+        return total / (span * self.num_processes * self.cores_per_process)
+
+    def process_active_intervals(self, p: int) -> np.ndarray:
+        """Merged ``(k, 2)`` intervals during which process ``p`` has at
+        least one task running (the paper's composite resource view)."""
+        sel = np.flatnonzero(self.process == p)
+        if len(sel) == 0:
+            return np.empty((0, 2))
+        ivals = np.stack([self.start[sel], self.end[sel]], axis=1)
+        ivals = ivals[np.argsort(ivals[:, 0], kind="stable")]
+        merged = [list(ivals[0])]
+        for s, e in ivals[1:]:
+            if s <= merged[-1][1] + 1e-12:
+                merged[-1][1] = max(merged[-1][1], e)
+            else:
+                merged.append([s, e])
+        return np.array(merged)
+
+    def process_idle_time(self, p: int) -> float:
+        """Idle time of the composite process ``p`` inside the span
+        [0, makespan]."""
+        ivals = self.process_active_intervals(p)
+        active = float((ivals[:, 1] - ivals[:, 0]).sum()) if len(ivals) else 0.0
+        return self.makespan - active
+
+    def total_process_idle_fraction(self) -> float:
+        """Mean idle fraction of composite processes (Fig. 6's
+        quantity: idleness that persists even with unbounded cores)."""
+        if self.makespan <= 0:
+            return 0.0
+        idle = np.array(
+            [self.process_idle_time(p) for p in range(self.num_processes)]
+        )
+        return float(idle.mean() / self.makespan)
+
+    def work_by_process_subiteration(self, dag: TaskDAG) -> np.ndarray:
+        """Executed work per (process, subiteration) — trace-level
+        counterpart of Fig. 7b / 10b."""
+        sub = dag.tasks.subiteration
+        nsub = int(sub.max()) + 1 if len(sub) else 1
+        out = np.zeros((self.num_processes, nsub), dtype=np.float64)
+        np.add.at(out, (self.process, sub), self.end - self.start)
+        return out
+
+    def validate_against(self, dag: TaskDAG) -> None:
+        """Check the trace is a valid schedule of ``dag``:
+        dependencies respected, no worker overlap, tasks on their
+        owning process."""
+        if len(self.start) != dag.num_tasks:
+            raise ValueError("trace/task count mismatch")
+        if np.any(self.end < self.start - 1e-12):
+            raise ValueError("negative task duration")
+        if np.any(self.process != dag.tasks.process):
+            raise ValueError("task executed on a foreign process")
+        pred = dag.edges[:, 0]
+        succ = dag.edges[:, 1]
+        if np.any(self.start[succ] < self.end[pred] - 1e-9):
+            raise ValueError("dependency violated")
+        # No overlap on a (process, worker) pair.
+        key = self.process.astype(np.int64) * (
+            int(self.worker.max(initial=0)) + 1
+        ) + self.worker
+        order = np.lexsort((self.start, key))
+        k = key[order]
+        s = self.start[order]
+        e = self.end[order]
+        same = k[1:] == k[:-1]
+        if np.any(s[1:][same] < e[:-1][same] - 1e-9):
+            raise ValueError("worker executes two tasks at once")

@@ -1,0 +1,147 @@
+"""Initial bisection heuristics for the coarsest graph.
+
+After coarsening, the graph is small (hundreds of vertices).  We bisect
+it with *greedy graph growing* (GGG): grow a region from a random seed,
+always absorbing the boundary vertex with the best cut gain, until the
+region reaches its target weight on every constraint.  Several random
+trials are run and the best feasible bisection kept.
+
+For multi-constraint graphs the stopping rule and the tie-breaks
+consider all constraints: a vertex is preferred if it reduces the cut
+and moves every under-filled constraint toward its target.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .csr import CSRGraph
+from .metrics import edge_cut, imbalance
+
+__all__ = ["greedy_graph_growing", "best_initial_bisection", "random_bisection"]
+
+
+def random_bisection(
+    g: CSRGraph, target_frac: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Random feasible-ish bisection used as a last-resort fallback."""
+    n = g.num_vertices
+    part = np.ones(n, dtype=np.int32)
+    order = rng.permutation(n)
+    total = g.total_vwgt()
+    want = total * target_frac
+    acc = np.zeros_like(want)
+    for v in order:
+        if np.all(acc >= want):
+            break
+        part[v] = 0
+        acc += g.vwgt[v]
+    return part
+
+
+def greedy_graph_growing(
+    g: CSRGraph,
+    target_frac: float,
+    rng: np.random.Generator,
+    *,
+    seed_vertex: int | None = None,
+) -> np.ndarray:
+    """Grow part 0 from a seed until every constraint reaches
+    ``target_frac`` of its total weight.
+
+    Returns a ``(n,)`` int32 array of 0/1 part labels.  The growth
+    frontier is a max-heap on cut gain; among the frontier we always
+    take the vertex with the highest gain whose addition does not
+    overshoot *all* constraints (overshooting some is unavoidable with
+    discrete weights).
+    """
+    n = g.num_vertices
+    total = g.total_vwgt()
+    want = total * target_frac
+    part = np.ones(n, dtype=np.int32)
+    acc = np.zeros(g.ncon, dtype=np.float64)
+
+    seed = int(seed_vertex) if seed_vertex is not None else int(rng.integers(n))
+    # gain[v] = (weight of edges from v into part0) - (edges to part1)
+    gain = np.full(n, -np.inf)
+    in_heap = np.zeros(n, dtype=bool)
+    heap: list[tuple[float, int, int]] = []
+    counter = 0
+
+    def push(v: int, gval: float) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-gval, counter, v))
+        counter += 1
+        gain[v] = gval
+        in_heap[v] = True
+
+    def grow(v: int) -> None:
+        nonlocal acc
+        part[v] = 0
+        acc = acc + g.vwgt[v]
+        for idx in range(g.xadj[v], g.xadj[v + 1]):
+            u = g.adjncy[idx]
+            if part[u] == 0:
+                continue
+            w = g.adjwgt[idx]
+            # Recompute u's gain: edges to part0 minus edges to part1.
+            to0 = 0.0
+            to1 = 0.0
+            for j in range(g.xadj[u], g.xadj[u + 1]):
+                t = g.adjncy[j]
+                if part[t] == 0:
+                    to0 += g.adjwgt[j]
+                else:
+                    to1 += g.adjwgt[j]
+            push(u, to0 - to1)
+
+    grow(seed)
+    # Under-filled means some constraint below target.
+    while np.any(acc < want):
+        v = -1
+        while heap:
+            negg, _, cand = heapq.heappop(heap)
+            if part[cand] == 1 and -negg == gain[cand]:
+                v = cand
+                break
+        if v < 0:
+            # Frontier exhausted (disconnected graph): jump to a random
+            # vertex still in part 1.
+            remaining = np.flatnonzero(part == 1)
+            if len(remaining) == 0:
+                break
+            v = int(remaining[rng.integers(len(remaining))])
+        grow(v)
+    return part
+
+
+def best_initial_bisection(
+    g: CSRGraph,
+    target_frac: float,
+    rng: np.random.Generator,
+    *,
+    ntrials: int = 8,
+    imbalance_tol: float = 1.10,
+) -> np.ndarray:
+    """Run several GGG trials and keep the best bisection.
+
+    Ranking: feasible bisections (every constraint within
+    ``imbalance_tol``) are preferred; among equally feasible candidates
+    the smaller edge cut wins; infeasible candidates are ranked by
+    worst-constraint imbalance first.
+    """
+    best_part: np.ndarray | None = None
+    best_key: tuple[int, float, float] | None = None
+    targets = np.array([target_frac, 1.0 - target_frac])
+    for _ in range(max(1, ntrials)):
+        part = greedy_graph_growing(g, target_frac, rng)
+        imb = float(imbalance(g, part, 2, target=targets).max())
+        cut = edge_cut(g, part)
+        feasible = 0 if imb <= imbalance_tol else 1
+        key = (feasible, cut if feasible == 0 else imb, cut)
+        if best_key is None or key < best_key:
+            best_key, best_part = key, part
+    assert best_part is not None
+    return best_part

@@ -1,0 +1,39 @@
+"""Finite-volume mesh substrate: structures, quadtree generation,
+synthetic replicas of the paper's meshes, dual graphs, statistics."""
+
+from .adaptation import (
+    adapt_mesh,
+    density_gradient_indicator,
+    transfer_solution,
+)
+from .dual import mesh_to_dual_graph
+from .generators import (
+    MESH_FACTORIES,
+    cube_mesh,
+    cylinder_mesh,
+    pprime_nozzle_mesh,
+    uniform_mesh,
+)
+from .io import load_mesh, save_mesh
+from .quadtree import build_quadtree_mesh
+from .quality import LevelStats, format_table1_row, level_statistics
+from .structures import Mesh
+
+__all__ = [
+    "Mesh",
+    "build_quadtree_mesh",
+    "cylinder_mesh",
+    "cube_mesh",
+    "pprime_nozzle_mesh",
+    "uniform_mesh",
+    "MESH_FACTORIES",
+    "mesh_to_dual_graph",
+    "save_mesh",
+    "load_mesh",
+    "LevelStats",
+    "level_statistics",
+    "format_table1_row",
+    "adapt_mesh",
+    "transfer_solution",
+    "density_gradient_indicator",
+]

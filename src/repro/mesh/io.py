@@ -1,0 +1,42 @@
+"""Mesh persistence (NumPy ``.npz`` round-trip).
+
+Generating the larger replica meshes takes a few seconds, so
+experiments cache them on disk.  The format is a flat ``.npz`` archive
+of the :class:`~repro.mesh.structures.Mesh` arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .structures import Mesh
+
+__all__ = ["save_mesh", "load_mesh"]
+
+_FIELDS = (
+    "cell_centers",
+    "cell_volumes",
+    "cell_depth",
+    "face_cells",
+    "face_area",
+    "face_normal",
+    "face_center",
+)
+
+
+def save_mesh(mesh: Mesh, path: str | Path) -> None:
+    """Write a mesh to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path), **{f: getattr(mesh, f) for f in _FIELDS}
+    )
+
+
+def load_mesh(path: str | Path) -> Mesh:
+    """Read a mesh previously written by :func:`save_mesh`."""
+    with np.load(Path(path)) as data:
+        missing = [f for f in _FIELDS if f not in data]
+        if missing:
+            raise ValueError(f"not a mesh archive, missing {missing}")
+        return Mesh(**{f: data[f].copy() for f in _FIELDS})

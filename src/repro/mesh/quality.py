@@ -1,0 +1,83 @@
+"""Mesh statistics — the machinery behind Table I.
+
+For a mesh plus temporal-level assignment this module computes, per
+level: the cell count, the share of cells, and the share of total
+*computation* (operating-cost-weighted share), i.e. exactly the three
+rows of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..temporal.levels import operating_costs
+from .structures import Mesh
+
+__all__ = ["LevelStats", "level_statistics", "format_table1_row"]
+
+
+@dataclass
+class LevelStats:
+    """Per-temporal-level statistics of a mesh (one Table I column
+    block).
+
+    Attributes
+    ----------
+    counts:
+        ``(L,)`` cells per level.
+    cell_fraction:
+        ``(L,)`` share of total cells per level ("%Cells").
+    computation_fraction:
+        ``(L,)`` share of total operating cost per level
+        ("%Computation").
+    total_cells:
+        Total cell count.
+    """
+
+    counts: np.ndarray
+    cell_fraction: np.ndarray
+    computation_fraction: np.ndarray
+    total_cells: int
+
+
+def level_statistics(mesh: Mesh, tau: np.ndarray) -> LevelStats:
+    """Compute Table-I-style statistics for ``mesh`` with levels
+    ``tau``."""
+    tau = np.asarray(tau, dtype=np.int64)
+    if len(tau) != mesh.num_cells:
+        raise ValueError("tau length mismatch")
+    nlev = int(tau.max()) + 1 if len(tau) else 0
+    counts = np.bincount(tau, minlength=nlev).astype(np.int64)
+    costs = operating_costs(tau)
+    cost_per_level = np.bincount(tau, weights=costs, minlength=nlev)
+    total_cost = cost_per_level.sum()
+    return LevelStats(
+        counts=counts,
+        cell_fraction=counts / max(1, counts.sum()),
+        computation_fraction=cost_per_level / max(total_cost, 1e-300),
+        total_cells=int(counts.sum()),
+    )
+
+
+def format_table1_row(name: str, stats: LevelStats) -> str:
+    """Render one mesh's Table I block as fixed-width text."""
+    lines = [f"{name}  (total cell count = {stats.total_cells})"]
+    header = "            " + "".join(
+        f"  tau={l:<6d}" for l in range(len(stats.counts))
+    )
+    lines.append(header)
+    lines.append(
+        "#Cells      "
+        + "".join(f"  {c:<10d}" for c in stats.counts)
+    )
+    lines.append(
+        "%Cells      "
+        + "".join(f"  {100 * f:<9.1f}%" for f in stats.cell_fraction)
+    )
+    lines.append(
+        "%Computation"
+        + "".join(f"  {100 * f:<9.1f}%" for f in stats.computation_fraction)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Space-filling curves (Morton and Hilbert) for geometric
+partitioning.
+
+SFC partitioning is the classical CFD load-balancing method the
+paper's conclusion cites (Aftosmis et al. [1]): sort cells along a
+locality-preserving curve and cut the sequence into equal-cost chunks.
+The Hilbert curve preserves locality strictly better than Morton
+(no long diagonal jumps), which translates into fewer cut faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morton_codes", "hilbert_codes", "sfc_order"]
+
+
+def _quantize(points: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    scale = np.maximum(hi - lo, 1e-300)
+    q = ((points - lo) / scale * ((1 << bits) - 1)).astype(np.uint64)
+    return q[:, 0], q[:, 1]
+
+
+def morton_codes(points: np.ndarray, *, bits: int = 16) -> np.ndarray:
+    """Z-order (Morton) code of 2D points, ``2*bits`` significant
+    bits."""
+    x, y = _quantize(np.asarray(points, dtype=np.float64), bits)
+    code = np.zeros(len(x), dtype=np.uint64)
+    for b in range(bits):
+        code |= ((x >> np.uint64(b)) & np.uint64(1)) << np.uint64(2 * b + 1)
+        code |= ((y >> np.uint64(b)) & np.uint64(1)) << np.uint64(2 * b)
+    return code
+
+
+def hilbert_codes(points: np.ndarray, *, bits: int = 16) -> np.ndarray:
+    """Hilbert-curve index of 2D points (vectorized xy→d transform).
+
+    Standard bit-twiddling algorithm (Warren / Wikipedia ``xy2d``),
+    applied to all points simultaneously.
+    """
+    x, y = _quantize(np.asarray(points, dtype=np.float64), bits)
+    x = x.astype(np.int64)
+    y = y.astype(np.int64)
+    d = np.zeros(len(x), dtype=np.int64)
+    s = np.int64(1) << (bits - 1)
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant so the curve stays continuous.
+        rot = ry == 0
+        flip = rot & (rx == 1)
+        x_f = x[flip]
+        y_f = y[flip]
+        x[flip] = s - 1 - x_f
+        y[flip] = s - 1 - y_f
+        x_r = x[rot].copy()
+        x[rot] = y[rot]
+        y[rot] = x_r
+        s >>= 1
+    return d.astype(np.uint64)
+
+
+def sfc_order(
+    points: np.ndarray, *, curve: str = "hilbert", bits: int = 16
+) -> np.ndarray:
+    """Permutation sorting points along the requested curve."""
+    if curve == "hilbert":
+        codes = hilbert_codes(points, bits=bits)
+    elif curve == "morton":
+        codes = morton_codes(points, bits=bits)
+    else:
+        raise ValueError(f"unknown curve {curve!r}")
+    return np.argsort(codes, kind="stable")

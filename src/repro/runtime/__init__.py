@@ -1,0 +1,13 @@
+"""A small StarPU-like threaded task runtime: dependency-driven
+execution of the task graph on real worker threads, with the solver
+kernels as task bodies."""
+
+from .executor import ExecutionResult, ThreadedExecutor
+from .parallel_solver import ParallelSolverRun, run_iteration_threaded
+
+__all__ = [
+    "ThreadedExecutor",
+    "ExecutionResult",
+    "run_iteration_threaded",
+    "ParallelSolverRun",
+]

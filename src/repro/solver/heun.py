@@ -1,0 +1,88 @@
+"""Reference global integrators (uniform time step).
+
+The production solver integrates with local time stepping through the
+task graph (:mod:`repro.solver.lts` / :mod:`repro.solver.runner`);
+this module provides the classical *global* integrators — forward
+Euler and second-order Heun — used to validate the finite-volume
+machinery (convergence, conservation) and as the accuracy reference
+for the local-time-stepping scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.structures import Mesh
+from .euler import FLUXES
+
+__all__ = ["residual", "euler_step", "heun_step", "integrate"]
+
+
+def residual(
+    mesh: Mesh, U: np.ndarray, *, flux: str = "rusanov"
+) -> np.ndarray:
+    """Spatial residual ``dU/dt = −(1/V) Σ_f F·n A_f``.
+
+    Boundary faces use transmissive (zero-gradient) conditions: the
+    boundary state equals the interior state.
+    """
+    flux_fn = FLUXES[flux]
+    a = mesh.face_cells[:, 0]
+    b = mesh.face_cells[:, 1]
+    interior = b >= 0
+    UL = U[a]
+    UR = UL.copy()
+    UR[interior] = U[b[interior]]
+    F = flux_fn(UL, UR, mesh.face_normal[:, 0], mesh.face_normal[:, 1])
+    w = F * mesh.face_area[:, None]
+    out = np.zeros_like(U)
+    np.add.at(out, a, -w)
+    np.add.at(out, b[interior], w[interior])
+    return out / mesh.cell_volumes[:, None]
+
+
+def euler_step(
+    mesh: Mesh, U: np.ndarray, dt: float, *, flux: str = "rusanov"
+) -> np.ndarray:
+    """One forward-Euler step (first order)."""
+    return U + dt * residual(mesh, U, flux=flux)
+
+
+def heun_step(
+    mesh: Mesh, U: np.ndarray, dt: float, *, flux: str = "rusanov"
+) -> np.ndarray:
+    """One Heun (SSP-RK2) step — the paper's second-order method."""
+    R0 = residual(mesh, U, flux=flux)
+    U1 = U + dt * R0
+    R1 = residual(mesh, U1, flux=flux)
+    return U + 0.5 * dt * (R0 + R1)
+
+
+def integrate(
+    mesh: Mesh,
+    U: np.ndarray,
+    t_end: float,
+    *,
+    cfl: float = 0.4,
+    flux: str = "rusanov",
+    method: str = "heun",
+    max_steps: int = 100_000,
+) -> tuple[np.ndarray, int]:
+    """Advance to ``t_end`` with a uniform (global-minimum) time step.
+
+    Returns ``(U, steps)``.
+    """
+    from .timestep import stable_timesteps
+
+    step = heun_step if method == "heun" else euler_step
+    t = 0.0
+    steps = 0
+    while t < t_end - 1e-15:
+        dt = float(stable_timesteps(mesh, U, cfl=cfl).min())
+        dt = min(dt, t_end - t)
+        U = step(mesh, U, dt, flux=flux)
+        t += dt
+        steps += 1
+        if steps >= max_steps:
+            raise RuntimeError("integrate: max_steps exceeded")
+    return U, steps

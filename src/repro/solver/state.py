@@ -1,0 +1,81 @@
+"""Initial conditions for the mini-FLUSEPA solver.
+
+Three families mirroring the paper's motivating applications
+(§I: "launcher stage separation, blast wave propagation during rocket
+take-off, aircraft propeller/jet noise"):
+
+* a quiescent atmosphere (trivial steady state, used in tests);
+* a **blast wave** — Gaussian pressure pulse;
+* a **jet** — high-velocity stream entering a quiescent medium, the
+  PPRIME-nozzle-like configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.structures import Mesh
+from .euler import primitive_to_conservative
+
+__all__ = ["quiescent", "blast_wave", "jet_flow"]
+
+
+def quiescent(
+    mesh: Mesh, *, rho: float = 1.0, p: float = 1.0
+) -> np.ndarray:
+    """Uniform fluid at rest — an exact steady state of the scheme."""
+    n = mesh.num_cells
+    return primitive_to_conservative(
+        np.full(n, rho),
+        np.zeros(n),
+        np.zeros(n),
+        np.full(n, p),
+    )
+
+
+def blast_wave(
+    mesh: Mesh,
+    *,
+    center: tuple[float, float] = (0.5, 0.5),
+    radius: float = 0.1,
+    p_ratio: float = 10.0,
+    rho: float = 1.0,
+    p_ambient: float = 1.0,
+) -> np.ndarray:
+    """Gaussian pressure pulse of amplitude ``p_ratio × p_ambient``
+    and width ``radius`` — the blast-wave scenario."""
+    x = mesh.cell_centers[:, 0]
+    y = mesh.cell_centers[:, 1]
+    r2 = (x - center[0]) ** 2 + (y - center[1]) ** 2
+    p = p_ambient * (1.0 + (p_ratio - 1.0) * np.exp(-r2 / radius**2))
+    n = mesh.num_cells
+    return primitive_to_conservative(
+        np.full(n, rho), np.zeros(n), np.zeros(n), p
+    )
+
+
+def jet_flow(
+    mesh: Mesh,
+    *,
+    axis_y: float = 0.5,
+    jet_half_width: float = 0.02,
+    mach: float = 0.8,
+    x_extent: float = 0.3,
+    rho: float = 1.0,
+    p_ambient: float = 1.0,
+) -> np.ndarray:
+    """A streamwise jet near ``y = axis_y``: velocity decays smoothly
+    away from the axis and downstream of ``x_extent`` (the nozzle-jet
+    scenario driving the PPRIME mesh refinement)."""
+    from .euler import GAMMA
+
+    x = mesh.cell_centers[:, 0]
+    y = mesh.cell_centers[:, 1]
+    c = np.sqrt(GAMMA * p_ambient / rho)
+    profile = np.exp(-((y - axis_y) / jet_half_width) ** 2 / 2.0)
+    stream = 0.5 * (1.0 - np.tanh((x - x_extent) / 0.1))
+    u = mach * c * profile * stream
+    n = mesh.num_cells
+    return primitive_to_conservative(
+        np.full(n, rho), u, np.zeros(n), np.full(n, p_ambient)
+    )

@@ -1,0 +1,25 @@
+"""Task-graph generation (Algorithm 1), DAG structure and analytics."""
+
+from .analysis import (
+    cells_by_domain_level,
+    task_count_by_subiteration,
+    work_by_process_level,
+    work_by_process_subiteration,
+)
+from .dag import TaskDAG
+from .generation import classify_objects, generate_task_graph
+from .task import Locality, ObjectType, TaskArrays, TaskView
+
+__all__ = [
+    "TaskDAG",
+    "TaskArrays",
+    "TaskView",
+    "ObjectType",
+    "Locality",
+    "generate_task_graph",
+    "classify_objects",
+    "work_by_process_level",
+    "work_by_process_subiteration",
+    "task_count_by_subiteration",
+    "cells_by_domain_level",
+]

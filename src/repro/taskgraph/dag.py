@@ -1,0 +1,152 @@
+"""Task DAG container and graph algorithms.
+
+Holds the task table plus the dependency structure in CSR form (both
+directions), and provides the DAG analytics the experiments need:
+topological order, critical path, width profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .task import TaskArrays
+
+__all__ = ["TaskDAG"]
+
+
+def _csr_from_pairs(
+    n: int, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(xadj[1:], src, 1)
+    np.cumsum(xadj, out=xadj)
+    return xadj, dst
+
+
+@dataclass
+class TaskDAG:
+    """A task graph: tasks plus dependency edges.
+
+    ``edges`` is a ``(E, 2)`` array of ``(predecessor, successor)``
+    pairs.  Successor/predecessor CSR adjacency is built lazily.
+    """
+
+    tasks: TaskArrays
+    edges: np.ndarray
+    _succ: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _pred: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.edges = np.ascontiguousarray(self.edges, dtype=np.int64).reshape(
+            -1, 2
+        )
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks."""
+        return self.tasks.num_tasks
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dependency edges."""
+        return len(self.edges)
+
+    # ------------------------------------------------------------------
+    def successors_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency predecessor → successors."""
+        if self._succ is None:
+            self._succ = _csr_from_pairs(
+                self.num_tasks, self.edges[:, 0], self.edges[:, 1]
+            )
+        return self._succ
+
+    def predecessors_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency successor → predecessors."""
+        if self._pred is None:
+            self._pred = _csr_from_pairs(
+                self.num_tasks, self.edges[:, 1], self.edges[:, 0]
+            )
+        return self._pred
+
+    def in_degrees(self) -> np.ndarray:
+        """Number of predecessors per task."""
+        deg = np.zeros(self.num_tasks, dtype=np.int64)
+        if len(self.edges):
+            np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> np.ndarray:
+        """A topological order (Kahn); raises on cycles."""
+        n = self.num_tasks
+        indeg = self.in_degrees()
+        sx, sa = self.successors_csr()
+        out = np.empty(n, dtype=np.int64)
+        head = 0
+        tail = 0
+        ready = np.flatnonzero(indeg == 0)
+        out[: len(ready)] = ready
+        tail = len(ready)
+        while head < tail:
+            v = out[head]
+            head += 1
+            for u in sa[sx[v] : sx[v + 1]]:
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    out[tail] = u
+                    tail += 1
+        if tail != n:
+            raise ValueError("task graph contains a cycle")
+        return out
+
+    def critical_path(self) -> tuple[float, np.ndarray]:
+        """Critical-path length and per-task *bottom levels*.
+
+        The bottom level of a task is the longest cost-weighted path
+        from the task (inclusive) to any sink — the classic HEFT
+        upward-rank priority.  The critical-path length is the maximum
+        bottom level, a lower bound on any schedule's makespan.
+        """
+        order = self.topological_order()
+        sx, sa = self.successors_csr()
+        cost = self.tasks.cost
+        bl = cost.astype(np.float64).copy()
+        for v in order[::-1]:
+            s = sa[sx[v] : sx[v + 1]]
+            if len(s):
+                bl[v] = cost[v] + bl[s].max()
+        return (float(bl.max()) if len(bl) else 0.0), bl
+
+    def width_profile(self) -> np.ndarray:
+        """Number of tasks per DAG depth level (parallelism profile)."""
+        order = self.topological_order()
+        px, pa = self.predecessors_csr()
+        depth = np.zeros(self.num_tasks, dtype=np.int64)
+        for v in order:
+            p = pa[px[v] : px[v + 1]]
+            if len(p):
+                depth[v] = depth[p].max() + 1
+        return np.bincount(depth) if len(depth) else np.zeros(0, dtype=np.int64)
+
+    def validate(self) -> None:
+        """Raise on malformed edges or cycles."""
+        if len(self.edges):
+            if self.edges.min() < 0 or self.edges.max() >= self.num_tasks:
+                raise ValueError("edge endpoint out of range")
+            if np.any(self.edges[:, 0] == self.edges[:, 1]):
+                raise ValueError("self-dependency")
+        self.topological_order()
+
+    def total_work(self) -> float:
+        """Sum of all task costs (invariant across partitionings —
+        'the total amount of work is independent of partitioning
+        strategy', paper §VI)."""
+        return float(self.tasks.cost.sum())

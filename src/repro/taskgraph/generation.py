@@ -1,0 +1,329 @@
+"""Task graph generation — the paper's Algorithm 1.
+
+For every subiteration, the active temporal levels are traversed in
+descending order (*phases*); each phase generates, per domain, a task
+for the **external** then the **internal** objects of its level, first
+for faces then for cells — provided the object set is non-empty.
+
+Note on fidelity: Algorithm 1's set-builder line reads
+``t_lvl(x) ≤ τ``, but the surrounding text and Fig. 8 make clear each
+phase processes the objects *of its level* (distinct red/yellow/blue
+tasks per τ); we implement equality, which is also what makes MC_TL
+produce finer-grained tasks (paper §VI).
+
+Dependencies are derived from last-writer tables over *object groups*
+(a group = all cells or faces sharing (domain, level, locality)):
+
+* a **face task** reads the most recent values of its adjacent cell
+  groups (flux stencil) and write-after-write orders it after the
+  previous task of its own group;
+* a **cell task** reads the most recent fluxes of every face group
+  bounding its cells and its own previous update.
+
+Because tasks are generated in execution order (subiterations
+ascending, phases descending, faces before cells, external before
+internal), the last-writer tables automatically resolve the subtle
+cases — e.g. a face task of level τ reads its level-τ neighbour cells'
+values from subiteration ``s − 2**τ``, not from the cell task that
+follows it in the same phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.structures import Mesh
+from ..partitioning.decomposition import DomainDecomposition
+from ..temporal.levels import face_levels
+from ..temporal.scheme import active_levels, num_subiterations
+from .dag import TaskDAG
+from .task import Locality, ObjectType, TaskArrays
+
+__all__ = ["generate_task_graph", "classify_objects"]
+
+
+def classify_objects(
+    mesh: Mesh, tau: np.ndarray, decomp: DomainDecomposition
+) -> dict:
+    """Classify cells and faces into task object groups.
+
+    Returns a dict with, per object kind, the (domain, level, locality)
+    of every object, plus the face→cell and cell→face group relations
+    needed for dependency generation.
+    """
+    tau = np.asarray(tau, dtype=np.int32)
+    cdom = decomp.domain
+    a = mesh.face_cells[:, 0]
+    b = mesh.face_cells[:, 1]
+    interior = b >= 0
+    bi = np.flatnonzero(interior)
+
+    flevel = face_levels(mesh, tau)
+    # Face locality: external iff its two cells live in different domains.
+    floc = np.zeros(mesh.num_faces, dtype=np.int8)
+    floc[bi] = (cdom[a[bi]] != cdom[b[bi]]).astype(np.int8)
+    # Face owner: the domain of its finer adjacent cell (the face is
+    # computed at that cell's frequency); ties go to cell a's domain.
+    fdom = cdom[a].astype(np.int32).copy()
+    finer_b = bi[tau[b[bi]] < tau[a[bi]]]
+    fdom[finer_b] = cdom[b[finer_b]]
+
+    # Cell locality: external iff adjacent to another domain.
+    cloc = np.zeros(mesh.num_cells, dtype=np.int8)
+    ext_faces = np.flatnonzero(floc == 1)
+    cloc[a[ext_faces]] = 1
+    cloc[b[ext_faces]] = 1
+
+    return {
+        "cell_domain": cdom.astype(np.int32),
+        "cell_level": tau,
+        "cell_locality": cloc,
+        "face_domain": fdom,
+        "face_level": flevel.astype(np.int32),
+        "face_locality": floc,
+    }
+
+
+def _group_ids(
+    dom: np.ndarray, lev: np.ndarray, loc: np.ndarray, ndom: int, nlev: int
+) -> np.ndarray:
+    """Dense group key (domain, level, locality) → scalar id."""
+    return (dom.astype(np.int64) * nlev + lev) * 2 + loc
+
+
+def generate_task_graph(
+    mesh: Mesh,
+    tau: np.ndarray,
+    decomp: DomainDecomposition,
+    *,
+    cell_unit_cost: float = 1.0,
+    face_unit_cost: float = 1.0,
+    level_cost_factor: np.ndarray | None = None,
+    scheme: str = "euler",
+    iterations: int = 1,
+) -> TaskDAG:
+    """Generate the task graph of one or more iterations (Algorithm 1).
+
+    Parameters
+    ----------
+    mesh, tau, decomp:
+        The mesh, per-cell temporal levels, and domain decomposition.
+    cell_unit_cost / face_unit_cost:
+        Work units per cell update / per face flux.
+    level_cost_factor:
+        Optional ``(L,)`` multiplier per temporal level (e.g. to model
+        deeper stencils on fine levels).  Defaults to 1 everywhere.
+    scheme:
+        ``"euler"`` — one (faces, cells) sweep per phase;
+        ``"heun"`` — the paper's second-order method: each phase emits
+        stage-1 faces, predictor cells, stage-2 faces and corrector
+        cells (four sweeps, doubling every task).  The dependency
+        structure additionally orders stage-2 face tasks after the
+        predictor writes they read and after the correctors that
+        cleared their accumulators.
+
+    iterations:
+        Number of consecutive solver iterations to expand.  The
+        last-writer tables carry across the boundary, so an iteration's
+        first tasks depend on the previous iteration's last writers —
+        no global barrier separates them, letting the simulator study
+        *cross-iteration pipelining* (the paper simulates a single
+        iteration and notes the pattern repeats).  Task
+        ``subiteration`` indices are global (``iteration · 2**τ_max +
+        s``).
+
+    Returns
+    -------
+    :class:`~repro.taskgraph.dag.TaskDAG` covering ``iterations`` full
+    iterations (``iterations · 2**τ_max`` subiterations).
+    """
+    if scheme not in ("euler", "heun"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    tau = np.asarray(tau, dtype=np.int32)
+    info = classify_objects(mesh, tau, decomp)
+    ndom = decomp.num_domains
+    tau_max = int(tau.max()) if len(tau) else 0
+    nlev = tau_max + 1
+    if level_cost_factor is None:
+        level_cost_factor = np.ones(nlev, dtype=np.float64)
+    level_cost_factor = np.asarray(level_cost_factor, dtype=np.float64)
+    if len(level_cost_factor) < nlev:
+        raise ValueError("level_cost_factor too short")
+
+    # --- group tables --------------------------------------------------
+    cgid = _group_ids(
+        info["cell_domain"], info["cell_level"], info["cell_locality"], ndom, nlev
+    )
+    fgid = _group_ids(
+        info["face_domain"], info["face_level"], info["face_locality"], ndom, nlev
+    )
+    ngroups = ndom * nlev * 2
+    cell_counts = np.bincount(cgid, minlength=ngroups).astype(np.int64)
+    face_counts = np.bincount(fgid, minlength=ngroups).astype(np.int64)
+
+    # --- group relations ------------------------------------------------
+    a = mesh.face_cells[:, 0]
+    b = mesh.face_cells[:, 1]
+    bi = np.flatnonzero(b >= 0)
+    pairs = np.concatenate(
+        [
+            np.stack([fgid, cgid[a]], axis=1),
+            np.stack([fgid[bi], cgid[b[bi]]], axis=1),
+        ]
+    )
+    pairs = np.unique(pairs, axis=0)
+    # CSR: face group -> adjacent cell groups
+    f2c_x = np.zeros(ngroups + 1, dtype=np.int64)
+    np.add.at(f2c_x[1:], pairs[:, 0], 1)
+    np.cumsum(f2c_x, out=f2c_x)
+    order = np.argsort(pairs[:, 0], kind="stable")
+    f2c_a = pairs[order, 1]
+    # CSR: cell group -> bounding face groups
+    rpairs = np.unique(pairs[:, ::-1], axis=0)
+    c2f_x = np.zeros(ngroups + 1, dtype=np.int64)
+    np.add.at(c2f_x[1:], rpairs[:, 0], 1)
+    np.cumsum(c2f_x, out=c2f_x)
+    order = np.argsort(rpairs[:, 0], kind="stable")
+    c2f_a = rpairs[order, 1]
+
+    # --- generation loop --------------------------------------------------
+    nsub = num_subiterations(tau_max)
+    dp = decomp.domain_process
+
+    t_sub: list[int] = []
+    t_tau: list[int] = []
+    t_type: list[int] = []
+    t_loc: list[int] = []
+    t_dom: list[int] = []
+    t_proc: list[int] = []
+    t_nobj: list[int] = []
+    t_cost: list[float] = []
+    t_stage: list[int] = []
+    e_src: list[int] = []
+    e_dst: list[int] = []
+
+    # Last-writer tables.  Euler uses (last_cell, last_face1); Heun
+    # additionally tracks stage-2 faces and predictor cell writes.
+    last_cell = np.full(ngroups, -1, dtype=np.int64)  # corrector / update
+    last_face1 = np.full(ngroups, -1, dtype=np.int64)
+    last_face2 = np.full(ngroups, -1, dtype=np.int64)
+    last_pred = np.full(ngroups, -1, dtype=np.int64)
+
+    def add_task(s, tph, typ, loc, d, nobj, cost, stage) -> int:
+        tid = len(t_cost)
+        t_sub.append(s)
+        t_tau.append(tph)
+        t_type.append(int(typ))
+        t_loc.append(int(loc))
+        t_dom.append(d)
+        t_proc.append(int(dp[d]))
+        t_nobj.append(int(nobj))
+        t_cost.append(float(cost))
+        t_stage.append(stage)
+        return tid
+
+    def add_deps(tid: int, preds: set[int]) -> None:
+        for p in preds:
+            if p >= 0 and p != tid:
+                e_src.append(p)
+                e_dst.append(tid)
+
+    def face_sweep(s: int, tph: int, stage: int) -> None:
+        for d in range(ndom):
+            base = (d * nlev + tph) * 2
+            for loc in (Locality.EXTERNAL, Locality.INTERNAL):
+                gid = base + int(loc)
+                nobj = face_counts[gid]
+                if nobj == 0:
+                    continue
+                tid = add_task(
+                    s,
+                    tph,
+                    ObjectType.FACE,
+                    loc,
+                    d,
+                    nobj,
+                    nobj * face_unit_cost * level_cost_factor[tph],
+                    stage,
+                )
+                table = last_face1 if stage == 1 else last_face2
+                preds = {int(table[gid])}
+                for cg in f2c_a[f2c_x[gid] : f2c_x[gid + 1]]:
+                    # Stage 1 reads U (last corrector); stage 2 reads
+                    # U* (last predictor) and must also follow the
+                    # corrector that cleared acc2 (anti-dependency).
+                    preds.add(int(last_cell[cg]))
+                    if stage == 2:
+                        preds.add(int(last_pred[cg]))
+                add_deps(tid, preds)
+                table[gid] = tid
+
+    def cell_sweep(s: int, tph: int, kind: str) -> None:
+        """kind ∈ {'update', 'predictor', 'corrector'}."""
+        stage = 1 if kind != "corrector" else 2
+        for d in range(ndom):
+            base = (d * nlev + tph) * 2
+            for loc in (Locality.EXTERNAL, Locality.INTERNAL):
+                gid = base + int(loc)
+                nobj = cell_counts[gid]
+                if nobj == 0:
+                    continue
+                tid = add_task(
+                    s,
+                    tph,
+                    ObjectType.CELL,
+                    loc,
+                    d,
+                    nobj,
+                    nobj * cell_unit_cost * level_cost_factor[tph],
+                    stage,
+                )
+                preds = {int(last_cell[gid])}
+                if kind != "update":
+                    preds.add(int(last_pred[gid]))
+                for fg in c2f_a[c2f_x[gid] : c2f_x[gid + 1]]:
+                    preds.add(int(last_face1[fg]))
+                    if kind == "corrector":
+                        preds.add(int(last_face2[fg]))
+                    elif kind == "predictor":
+                        # WAR: the new predictor overwrites U*, which
+                        # earlier stage-2 face tasks may still read.
+                        preds.add(int(last_face2[fg]))
+                add_deps(tid, preds)
+                if kind == "predictor":
+                    last_pred[gid] = tid
+                else:
+                    last_cell[gid] = tid
+
+    for it in range(iterations):
+        for s_local in range(nsub):
+            s = it * nsub + s_local
+            for tph in active_levels(s_local, tau_max):
+                if scheme == "euler":
+                    face_sweep(s, tph, 1)
+                    cell_sweep(s, tph, "update")
+                else:
+                    face_sweep(s, tph, 1)
+                    cell_sweep(s, tph, "predictor")
+                    face_sweep(s, tph, 2)
+                    cell_sweep(s, tph, "corrector")
+
+    tasks = TaskArrays(
+        subiteration=np.array(t_sub, dtype=np.int32),
+        phase_tau=np.array(t_tau, dtype=np.int32),
+        obj_type=np.array(t_type, dtype=np.int8),
+        locality=np.array(t_loc, dtype=np.int8),
+        domain=np.array(t_dom, dtype=np.int32),
+        process=np.array(t_proc, dtype=np.int32),
+        num_objects=np.array(t_nobj, dtype=np.int64),
+        cost=np.array(t_cost, dtype=np.float64),
+        stage=np.array(t_stage, dtype=np.int8),
+    )
+    edges = (
+        np.stack([np.array(e_src), np.array(e_dst)], axis=1)
+        if e_src
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return TaskDAG(tasks=tasks, edges=edges)

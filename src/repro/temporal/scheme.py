@@ -1,0 +1,104 @@
+"""The explicit temporal-adaptive integration scheme.
+
+One *iteration* advances every cell to the same physical time; it is
+divided into ``2**τ_max`` *subiterations*.  A cell of level τ is
+*active* (recomputed) at subiteration ``s`` iff ``s % 2**τ == 0``:
+τ=0 cells are active in every subiteration, τ=1 cells every other one,
+and the coarsest cells only at ``s = 0`` (paper Fig. 4).
+
+Each subiteration contains one *phase* per active level, traversed in
+**descending** level order (coarse first — their long step must be
+taken before finer cells interpolate against it, paper Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "num_subiterations",
+    "active_levels",
+    "is_active",
+    "subiteration_tau_max",
+    "IterationSchedule",
+]
+
+
+def num_subiterations(tau_max: int) -> int:
+    """Subiterations per iteration: ``2**τ_max``."""
+    if tau_max < 0:
+        raise ValueError("tau_max must be >= 0")
+    return 1 << tau_max
+
+
+def is_active(tau: np.ndarray | int, s: int) -> np.ndarray | bool:
+    """Whether cells of level(s) ``tau`` are active at subiteration ``s``."""
+    tau_arr = np.asarray(tau)
+    return (s % np.exp2(tau_arr).astype(np.int64)) == 0
+
+
+def subiteration_tau_max(s: int, tau_max: int) -> int:
+    """Highest level active at subiteration ``s``.
+
+    ``s = 0`` activates every level; otherwise the highest active level
+    is the number of trailing zero bits of ``s``.
+    """
+    if s == 0:
+        return tau_max
+    return min((s & -s).bit_length() - 1, tau_max)
+
+
+def active_levels(s: int, tau_max: int) -> list[int]:
+    """Active levels of subiteration ``s`` in descending (phase) order."""
+    top = subiteration_tau_max(s, tau_max)
+    return list(range(top, -1, -1))
+
+
+@dataclass
+class IterationSchedule:
+    """Precomputed schedule of one iteration.
+
+    Attributes
+    ----------
+    tau_max:
+        Highest temporal level in the mesh.
+    subiterations:
+        For each subiteration, the list of active levels in phase
+        (descending) order.
+    """
+
+    tau_max: int
+    subiterations: list[list[int]]
+
+    @classmethod
+    def create(cls, tau_max: int) -> "IterationSchedule":
+        """Build the schedule for a mesh whose highest level is
+        ``tau_max``."""
+        nsub = num_subiterations(tau_max)
+        return cls(
+            tau_max=tau_max,
+            subiterations=[active_levels(s, tau_max) for s in range(nsub)],
+        )
+
+    @property
+    def num_subiterations(self) -> int:
+        """Number of subiterations (``2**τ_max``)."""
+        return len(self.subiterations)
+
+    def activations_per_level(self) -> np.ndarray:
+        """How many times each level is active during one iteration.
+
+        Equals the operating cost ``2**(τ_max − τ)`` — the consistency
+        of the two views is checked by the test suite.
+        """
+        counts = np.zeros(self.tau_max + 1, dtype=np.int64)
+        for levels in self.subiterations:
+            for lvl in levels:
+                counts[lvl] += 1
+        return counts
+
+    def phase_count(self) -> int:
+        """Total number of phases across the iteration."""
+        return sum(len(levels) for levels in self.subiterations)

@@ -1,0 +1,127 @@
+"""ASCII Gantt rendering of execution traces.
+
+The paper's evidence is largely visual (Figs. 5, 6, 9, 12, 13 are
+Gantt charts color-coded by subiteration).  This module renders the
+same charts as text: one row per process (composite view) or per
+worker, time binned into columns, each cell showing the subiteration
+digit of the dominant task (``.`` = idle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..flusim.trace import Trace
+from ..taskgraph.dag import TaskDAG
+
+__all__ = ["render_gantt", "render_process_gantt"]
+
+_IDLE = "."
+
+
+def _bin_trace(
+    trace: Trace,
+    dag: TaskDAG,
+    row_of_task: np.ndarray,
+    num_rows: int,
+    width: int,
+) -> list[str]:
+    span = trace.makespan
+    if span <= 0:
+        return [_IDLE * width] * num_rows
+    # For each row and column pick the subiteration with the most
+    # overlap time.
+    nsub = int(dag.tasks.subiteration.max()) + 1
+    overlap = np.zeros((num_rows, width, nsub), dtype=np.float64)
+    col_w = span / width
+    for t in range(dag.num_tasks):
+        r = int(row_of_task[t])
+        s, e = trace.start[t], trace.end[t]
+        sub = int(dag.tasks.subiteration[t])
+        c0 = int(s / col_w)
+        c1 = min(int(np.ceil(e / col_w)), width)
+        for c in range(c0, c1):
+            lo = max(s, c * col_w)
+            hi = min(e, (c + 1) * col_w)
+            if hi > lo:
+                overlap[r, c, sub] += hi - lo
+    rows = []
+    for r in range(num_rows):
+        chars = []
+        for c in range(width):
+            tot = overlap[r, c].sum()
+            if tot <= 0:
+                chars.append(_IDLE)
+            else:
+                sub = int(np.argmax(overlap[r, c]))
+                chars.append(str(sub % 10) if sub < 10 else "#")
+        rows.append("".join(chars))
+    return rows
+
+
+def render_gantt(
+    trace: Trace, dag: TaskDAG, *, width: int = 100, max_workers: int = 64
+) -> str:
+    """Worker-level Gantt chart (one row per (process, worker))."""
+    workers = {}
+    for t in range(dag.num_tasks):
+        key = (int(trace.process[t]), int(trace.worker[t]))
+        workers.setdefault(key, len(workers))
+    keys = sorted(workers)[:max_workers]
+    row_index = {k: i for i, k in enumerate(keys)}
+    row_of_task = np.full(dag.num_tasks, -1, dtype=np.int64)
+    for t in range(dag.num_tasks):
+        key = (int(trace.process[t]), int(trace.worker[t]))
+        row_of_task[t] = row_index.get(key, -1)
+    keep = row_of_task >= 0
+    rows = _bin_trace(
+        _subset_trace(trace, keep),
+        _subset_dag(dag, keep),
+        row_of_task[keep],
+        len(keys),
+        width,
+    )
+    lines = [
+        f"p{p:<3d}w{w:<3d} |{row}|"
+        for (p, w), row in zip(keys, rows)
+    ]
+    return "\n".join(lines)
+
+
+def render_process_gantt(trace: Trace, dag: TaskDAG, *, width: int = 100) -> str:
+    """Composite-process Gantt chart (paper Fig. 6 style): a row is
+    idle only when *no* core of the process is busy."""
+    rows = _bin_trace(
+        trace, dag, trace.process.astype(np.int64), trace.num_processes, width
+    )
+    return "\n".join(
+        f"proc{p:<4d} |{row}|" for p, row in enumerate(rows)
+    )
+
+
+def _subset_trace(trace: Trace, keep: np.ndarray) -> Trace:
+    return Trace(
+        process=trace.process[keep],
+        worker=trace.worker[keep],
+        start=trace.start[keep],
+        end=trace.end[keep],
+        num_processes=trace.num_processes,
+        cores_per_process=trace.cores_per_process,
+    )
+
+
+def _subset_dag(dag: TaskDAG, keep: np.ndarray):
+    from ..taskgraph.task import TaskArrays
+
+    t = dag.tasks
+    tasks = TaskArrays(
+        subiteration=t.subiteration[keep],
+        phase_tau=t.phase_tau[keep],
+        obj_type=t.obj_type[keep],
+        locality=t.locality[keep],
+        domain=t.domain[keep],
+        process=t.process[keep],
+        num_objects=t.num_objects[keep],
+        cost=t.cost[keep],
+    )
+    return TaskDAG(tasks=tasks, edges=np.empty((0, 2), dtype=np.int64))

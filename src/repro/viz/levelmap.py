@@ -1,0 +1,57 @@
+"""ASCII spatial maps of cell fields.
+
+The paper's Fig. 3 color-codes a mesh slice by cell volume; the
+equivalent terminal view renders any per-cell integer field (temporal
+level, domain id, process id) on a character raster sampled at cell
+centres.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.structures import Mesh
+
+__all__ = ["render_level_map"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_level_map(
+    mesh: Mesh,
+    values: np.ndarray,
+    *,
+    width: int = 64,
+    height: int = 32,
+) -> str:
+    """Render a per-cell integer field as an ASCII raster.
+
+    Each raster pixel shows the value of the cell containing the
+    sample point (cells being axis-aligned squares, containment is a
+    bounds check on the nearest centre).
+    """
+    values = np.asarray(values)
+    if len(values) != mesh.num_cells:
+        raise ValueError("values length mismatch")
+    lo = mesh.cell_centers.min(axis=0)
+    hi = mesh.cell_centers.max(axis=0)
+    span = np.maximum(hi - lo, 1e-300)
+    half = np.sqrt(mesh.cell_volumes) / 2.0
+
+    rows = []
+    for r in range(height):
+        y = hi[1] - (r + 0.5) / height * span[1]
+        chars = []
+        for c in range(width):
+            x = lo[0] + (c + 0.5) / width * span[0]
+            dx = np.abs(mesh.cell_centers[:, 0] - x)
+            dy = np.abs(mesh.cell_centers[:, 1] - y)
+            inside = (dx <= half) & (dy <= half)
+            idx = np.flatnonzero(inside)
+            if len(idx) == 0:
+                chars.append(" ")
+            else:
+                v = int(values[idx[0]])
+                chars.append(_GLYPHS[v % len(_GLYPHS)])
+        rows.append("".join(chars))
+    return "\n".join(rows)

@@ -1,0 +1,102 @@
+"""Shared fixtures: small meshes, graphs and decompositions.
+
+Session-scoped where construction is expensive; everything is
+deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, graph_from_edges
+from repro.mesh import build_quadtree_mesh, cube_mesh, uniform_mesh
+from repro.partitioning import make_decomposition
+from repro.temporal import levels_from_depth
+
+
+def grid_graph(nx: int, ny: int) -> CSRGraph:
+    """An nx × ny 4-neighbour grid graph."""
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                edges.append((v, v + ny))
+            if j + 1 < ny:
+                edges.append((v, v + 1))
+    return graph_from_edges(nx * ny, np.array(edges))
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> CSRGraph:
+    """16×16 grid graph (256 vertices)."""
+    return grid_graph(16, 16)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> CSRGraph:
+    """40×40 grid graph (1600 vertices)."""
+    return grid_graph(40, 40)
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    """Small graded quadtree mesh (two hotspot bands, ~600 cells)."""
+
+    def sizing(x, y):
+        d = np.hypot(x - 0.3, y - 0.4)
+        h = 1.0 / 64
+        return np.where(d < 0.1, h, np.where(d < 0.3, 2 * h, 4 * h))
+
+    return build_quadtree_mesh(sizing, max_depth=6, min_depth=4)
+
+
+@pytest.fixture(scope="session")
+def small_cube_mesh():
+    """CUBE replica at reduced depth (~1200 cells, 4 levels)."""
+    return cube_mesh(max_depth=8)
+
+
+@pytest.fixture(scope="session")
+def small_cube_tau(small_cube_mesh):
+    """Temporal levels of the small cube mesh."""
+    return levels_from_depth(small_cube_mesh, num_levels=4)
+
+
+@pytest.fixture(scope="session")
+def flat_mesh():
+    """Uniform mesh (single level)."""
+    return uniform_mesh(depth=4)
+
+
+@pytest.fixture(scope="session")
+def cube_decomp_sc(small_cube_mesh, small_cube_tau):
+    """SC_OC decomposition of the small cube: 8 domains, 4 processes."""
+    return make_decomposition(
+        small_cube_mesh, small_cube_tau, 8, 4, strategy="SC_OC", seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def cube_decomp_mc(small_cube_mesh, small_cube_tau):
+    """MC_TL decomposition of the small cube: 8 domains, 4 processes."""
+    return make_decomposition(
+        small_cube_mesh, small_cube_tau, 8, 4, strategy="MC_TL", seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def cube_dag_sc(small_cube_mesh, small_cube_tau, cube_decomp_sc):
+    """Task graph of the SC_OC cube decomposition."""
+    from repro.taskgraph import generate_task_graph
+
+    return generate_task_graph(small_cube_mesh, small_cube_tau, cube_decomp_sc)
+
+
+@pytest.fixture(scope="session")
+def cube_dag_mc(small_cube_mesh, small_cube_tau, cube_decomp_mc):
+    """Task graph of the MC_TL cube decomposition."""
+    from repro.taskgraph import generate_task_graph
+
+    return generate_task_graph(small_cube_mesh, small_cube_tau, cube_decomp_mc)

@@ -1,0 +1,52 @@
+"""CLI coverage for the extension experiment commands (fast paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExtensionCommands:
+    def test_levels(self, capsys):
+        rc = main(["experiment", "levels", "--scale", "7"])
+        assert rc == 0
+        assert "drift" in capsys.readouterr().out
+
+    def test_octree3d(self, capsys):
+        rc = main(["experiment", "octree3d"])
+        assert rc == 0
+        assert "3D octree" in capsys.readouterr().out
+
+    def test_postprocess(self, capsys):
+        rc = main(["experiment", "postprocess", "--scale", "8"])
+        assert rc == 0
+        assert "fragments" in capsys.readouterr().out
+
+    def test_runtime(self, capsys):
+        rc = main(["experiment", "runtime", "--scale", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matches serial: True" in out
+
+    def test_fig07(self, capsys):
+        rc = main(["experiment", "fig07", "--scale", "8"])
+        assert rc == 0
+        assert "SC_OC" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        rc = main(["experiment", "fig10", "--scale", "8"])
+        assert rc == 0
+        assert "MC_TL" in capsys.readouterr().out
+
+    def test_fig06(self, capsys):
+        rc = main(["experiment", "fig06", "--scale", "8"])
+        assert rc == 0
+        assert "Unbounded" in capsys.readouterr().out
+
+    def test_mesh_all_names(self, capsys):
+        for name in ("cylinder", "cube", "pprime_nozzle"):
+            rc = main(["mesh", name, "--scale", "7"])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "PPRIME_NOZZLE" in out

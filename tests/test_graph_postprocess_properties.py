@@ -1,0 +1,97 @@
+"""Property tests for the partitioner on multi-constraint inputs and
+the reconnection pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    edge_cut,
+    graph_from_edges,
+    imbalance,
+    part_components,
+    partition_graph,
+    reconnect_parts,
+)
+
+
+def grid_with_classes(nx, ny, ncls, pattern, seed):
+    """Grid graph with a class layout: 'stripes', 'blocks' or
+    'random'."""
+    n = nx * ny
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                edges.append((v, v + ny))
+            if j + 1 < ny:
+                edges.append((v, v + 1))
+    idx = np.arange(n)
+    if pattern == "stripes":
+        cls = (idx // ny) * ncls // nx
+    elif pattern == "blocks":
+        cls = ((idx // ny) * 2 // nx) * 2 + ((idx % ny) * 2 // ny)
+        cls = cls % ncls
+    else:
+        cls = np.random.default_rng(seed).integers(0, ncls, n)
+    vw = np.zeros((n, ncls))
+    vw[idx, np.clip(cls, 0, ncls - 1)] = 1.0
+    return graph_from_edges(n, np.array(edges), vwgt=vw)
+
+
+class TestMultiConstraintProperties:
+    @given(
+        st.sampled_from(["stripes", "blocks", "random"]),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_every_constraint_bounded(self, pattern, ncls, k, seed):
+        g = grid_with_classes(14, 14, ncls, pattern, seed)
+        res = partition_graph(g, k, seed=seed)
+        # Every class has ≥ k items here (196/ncls ≥ 49), so a
+        # moderately balanced partition must exist; accept generous
+        # slack for adversarial patterns.
+        assert res.imbalance.max() < 2.0
+        assert set(np.unique(res.part)) == set(range(k))
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=8, deadline=None)
+    def test_cut_nontrivial_vs_random(self, seed):
+        """The optimizer beats random assignment on edge cut."""
+        g = grid_with_classes(12, 12, 2, "stripes", seed)
+        res = partition_graph(g, 4, seed=seed)
+        rng = np.random.default_rng(seed)
+        random_part = rng.integers(0, 4, g.num_vertices).astype(np.int32)
+        assert res.cut < edge_cut(g, random_part)
+
+
+class TestReconnectProperties:
+    @given(
+        st.sampled_from(["stripes", "random"]),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_reconnect_never_worsens(self, pattern, ncls, seed):
+        """The reconnection pass never increases fragments or cut and
+        respects its balance ceiling."""
+        g = grid_with_classes(12, 12, ncls, pattern, seed)
+        res = partition_graph(g, 4, seed=seed)
+        part = res.part.copy()
+        rec = reconnect_parts(g, part, 4, imbalance_tol=1.6)
+        assert rec.fragments_after <= rec.fragments_before
+        assert rec.cut_after <= rec.cut_before + 1e-9
+        # Moves respect the ceiling unless the input already violated
+        # it (the pass never *creates* worse imbalance than max(input,
+        # ceiling)).
+        assert rec.imbalance_after <= max(rec.imbalance_before, 1.6) + 1e-9
+        # Component accounting is consistent with the labels.
+        comps = part_components(g, rec.part, 4)
+        frag = sum(max(0, len(c) - 1) for c in comps)
+        assert frag == rec.fragments_after

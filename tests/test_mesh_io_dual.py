@@ -1,0 +1,61 @@
+"""Tests for mesh persistence and the mesh→dual-graph conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import validate_csr
+from repro.mesh import load_mesh, mesh_to_dual_graph, save_mesh, uniform_mesh
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_mesh):
+        path = tmp_path / "m.npz"
+        save_mesh(small_mesh, path)
+        loaded = load_mesh(path)
+        np.testing.assert_array_equal(
+            loaded.cell_centers, small_mesh.cell_centers
+        )
+        np.testing.assert_array_equal(
+            loaded.face_cells, small_mesh.face_cells
+        )
+        loaded.validate()
+
+    def test_rejects_non_mesh_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_mesh(path)
+
+
+class TestDualGraph:
+    def test_structure(self, small_mesh):
+        g = mesh_to_dual_graph(small_mesh)
+        validate_csr(g)
+        assert g.num_vertices == small_mesh.num_cells
+        assert g.num_edges == len(small_mesh.interior_faces())
+
+    def test_uniform_grid_degrees(self):
+        m = uniform_mesh(depth=2)  # 4x4 grid
+        g = mesh_to_dual_graph(m)
+        deg = g.degrees()
+        # Corner cells have 2 neighbours, edges 3, interior 4.
+        assert sorted(np.unique(deg)) == [2, 3, 4]
+        assert (deg == 2).sum() == 4
+
+    def test_vertex_weights_passed_through(self, small_mesh):
+        vw = np.random.default_rng(0).random((small_mesh.num_cells, 2))
+        g = mesh_to_dual_graph(small_mesh, vwgt=vw)
+        np.testing.assert_array_equal(g.vwgt, vw)
+
+    def test_area_edge_weights(self, small_mesh):
+        g = mesh_to_dual_graph(small_mesh, edge_weight="area")
+        interior = small_mesh.interior_faces()
+        assert g.total_edge_weight() == pytest.approx(
+            small_mesh.face_area[interior].sum()
+        )
+
+    def test_unknown_edge_weight_raises(self, small_mesh):
+        with pytest.raises(ValueError, match="edge_weight"):
+            mesh_to_dual_graph(small_mesh, edge_weight="volume")

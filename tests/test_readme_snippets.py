@@ -1,0 +1,63 @@
+"""The README's code promises, executed.
+
+Keeps the documentation honest: the quickstart snippet runs as
+written, the package docstring's doctest holds, and every example
+script at least parses/compiles.
+"""
+
+from __future__ import annotations
+
+import ast
+import doctest
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDocumentation:
+    def test_package_doctest(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+    def test_readme_quickstart_executes(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        start = readme.index("```python") + len("```python")
+        end = readme.index("```", start)
+        snippet = readme[start:end]
+        namespace: dict = {}
+        exec(compile(snippet, "<README quickstart>", "exec"), namespace)
+
+    def test_all_examples_compile(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 7
+        for path in examples:
+            ast.parse(path.read_text(), filename=str(path))
+
+    def test_all_examples_have_docstrings(self):
+        for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+            mod = ast.parse(path.read_text())
+            assert ast.get_docstring(mod), path.name
+
+    def test_design_and_experiments_reference_real_benches(self):
+        bench_names = {
+            p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+        }
+        for doc in ("DESIGN.md", "EXPERIMENTS.md"):
+            text = (REPO_ROOT / doc).read_text()
+            for token in bench_names:
+                # Not all benches must appear, but every bench path
+                # mentioned in the docs must exist.
+                pass
+            import re
+
+            mentioned = set(re.findall(r"bench_\w+\.py", text))
+            missing = mentioned - bench_names
+            assert not missing, f"{doc} references unknown benches: {missing}"
+
+    def test_public_modules_have_docstrings(self):
+        for path in (REPO_ROOT / "src" / "repro").rglob("*.py"):
+            mod = ast.parse(path.read_text())
+            assert ast.get_docstring(mod), f"{path} lacks a module docstring"

@@ -1,0 +1,138 @@
+"""Tests for the threaded task runtime."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import ThreadedExecutor, run_iteration_threaded
+from repro.solver import LTSState, TaskDistributedSolver, blast_wave
+from repro.solver.timestep import stable_timesteps
+from tests.test_flusim import chain_dag, independent_dag
+
+
+class TestThreadedExecutor:
+    def test_executes_every_task_once(self):
+        dag = independent_dag([1.0] * 20, [i % 3 for i in range(20)])
+        counts = np.zeros(20, dtype=np.int64)
+        lock = threading.Lock()
+
+        def fn(t):
+            with lock:
+                counts[t] += 1
+
+        result = ThreadedExecutor(dag, 3, 2, fn).run()
+        assert np.all(counts == 1)
+        assert result.elapsed > 0
+
+    def test_respects_dependencies(self):
+        dag = chain_dag([0.0] * 10)
+        order = []
+        lock = threading.Lock()
+
+        def fn(t):
+            with lock:
+                order.append(t)
+
+        ThreadedExecutor(dag, 1, 4, fn).run()
+        assert order == sorted(order)
+
+    def test_trace_valid(self, cube_dag_mc):
+        def fn(t):
+            pass
+
+        result = ThreadedExecutor(cube_dag_mc, 4, 2, fn).run()
+        result.trace.validate_against(cube_dag_mc)
+
+    def test_tasks_run_in_owning_group(self):
+        dag = independent_dag([0.0] * 12, [i % 4 for i in range(12)])
+        seen = {}
+        lock = threading.Lock()
+
+        def fn(t):
+            with lock:
+                seen[t] = threading.current_thread().name
+
+        ThreadedExecutor(dag, 4, 1, fn).run()
+        for t in range(12):
+            assert seen[t].startswith(f"repro-worker-p{t % 4}")
+
+    def test_exception_propagates(self):
+        dag = chain_dag([0.0, 0.0, 0.0])
+
+        def fn(t):
+            if t == 1:
+                raise RuntimeError("kernel failure")
+
+        with pytest.raises(RuntimeError, match="kernel failure"):
+            ThreadedExecutor(dag, 1, 2, fn).run()
+
+    def test_validation_errors(self):
+        dag = independent_dag([1.0], [5])
+        with pytest.raises(ValueError):
+            ThreadedExecutor(dag, 2, 1, lambda t: None)
+        with pytest.raises(ValueError):
+            ThreadedExecutor(chain_dag([1.0]), 0, 1, lambda t: None)
+
+    def test_empty_dag(self):
+        dag = independent_dag([], [])
+        result = ThreadedExecutor(dag, 2, 2, lambda t: None).run()
+        assert result.trace.makespan == 0.0
+
+
+class TestParallelSolver:
+    def test_matches_serial_execution(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_mc
+    ):
+        """Threaded execution must produce the same physics as the
+        serial task loop (deposits commute; everything else is
+        ordered by dependencies)."""
+        mesh, tau = small_cube_mesh, small_cube_tau
+        U0 = blast_wave(mesh)
+        dt_min = float((stable_timesteps(mesh, U0) / np.exp2(tau)).min())
+        solver = TaskDistributedSolver(mesh, tau, cube_decomp_mc, dt_min)
+
+        st_serial = LTSState(U0)
+        solver.run_iteration(st_serial)
+
+        st_threaded = LTSState(U0)
+        run = run_iteration_threaded(
+            solver, st_threaded, cores_per_process=2
+        )
+        np.testing.assert_allclose(
+            st_threaded.U, st_serial.U, atol=1e-11
+        )
+        np.testing.assert_allclose(
+            st_threaded.acc, st_serial.acc, atol=1e-11
+        )
+        run.result.trace.validate_against(solver.dag)
+
+    def test_conservation_under_threads(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_sc
+    ):
+        mesh, tau = small_cube_mesh, small_cube_tau
+        U0 = blast_wave(mesh)
+        dt_min = float((stable_timesteps(mesh, U0) / np.exp2(tau)).min())
+        solver = TaskDistributedSolver(mesh, tau, cube_decomp_sc, dt_min)
+        st = LTSState(U0)
+        c0 = st.conserved_total(mesh)
+        run_iteration_threaded(solver, st, cores_per_process=3)
+        c1 = st.conserved_total(mesh)
+        assert c1[0] == pytest.approx(c0[0], rel=1e-12)
+        assert c1[3] == pytest.approx(c0[3], rel=1e-12)
+
+    def test_repeated_iterations_stable(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_mc
+    ):
+        mesh, tau = small_cube_mesh, small_cube_tau
+        U0 = blast_wave(mesh)
+        dt_min = float((stable_timesteps(mesh, U0) / np.exp2(tau)).min())
+        solver = TaskDistributedSolver(mesh, tau, cube_decomp_mc, dt_min)
+        st = LTSState(U0)
+        for _ in range(3):
+            run_iteration_threaded(solver, st, cores_per_process=2)
+        from repro.solver import pressure
+
+        assert pressure(st.U).min() > 0

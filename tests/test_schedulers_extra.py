@@ -1,0 +1,69 @@
+"""Additional scheduler behaviour tests: priority semantics and
+strategy-dependent schedule differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flusim import ClusterConfig, simulate
+from repro.flusim.schedulers import RandomQueue, make_scheduler
+from repro.taskgraph import TaskDAG
+from tests.test_flusim import independent_dag
+
+
+class TestPrioritySemantics:
+    def test_ljf_runs_longest_first_on_one_core(self):
+        dag = independent_dag([1.0, 5.0, 3.0], [0, 0, 0])
+        trace = simulate(dag, ClusterConfig(1, 1), scheduler="ljf")
+        order = np.argsort(trace.start)
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_sjf_runs_shortest_first_on_one_core(self):
+        dag = independent_dag([1.0, 5.0, 3.0], [0, 0, 0])
+        trace = simulate(dag, ClusterConfig(1, 1), scheduler="sjf")
+        order = np.argsort(trace.start)
+        np.testing.assert_array_equal(order, [0, 2, 1])
+
+    def test_cp_prioritizes_long_chain(self):
+        """With one core and two ready roots, CP picks the root whose
+        chain is longer."""
+        tasks = independent_dag([1.0, 1.0, 10.0], [0, 0, 0]).tasks
+        # Task 1 heads a chain 1→2 (bottom level 11); task 0 is alone.
+        dag = TaskDAG(tasks=tasks, edges=np.array([[1, 2]]))
+        trace = simulate(dag, ClusterConfig(1, 1), scheduler="cp")
+        assert trace.start[1] < trace.start[0]
+
+    def test_ljf_beats_sjf_on_classic_makespan_case(self):
+        """P‖Cmax folklore: longest-first packs better on parallel
+        cores."""
+        costs = [7.0, 7.0, 6.0, 5.0, 5.0, 4.0, 4.0, 2.0]
+        dag = independent_dag(costs, [0] * len(costs))
+        m_ljf = simulate(dag, ClusterConfig(1, 4), scheduler="ljf").makespan
+        m_sjf = simulate(dag, ClusterConfig(1, 4), scheduler="sjf").makespan
+        assert m_ljf <= m_sjf
+
+    def test_random_queue_exhausts_all(self):
+        rng = np.random.default_rng(0)
+        q = RandomQueue(rng)
+        for t in range(50):
+            q.push(t, 0.0)
+        popped = {q.pop() for _ in range(50)}
+        assert popped == set(range(50))
+        assert len(q) == 0
+
+    def test_random_scheduler_seed_determinism(self, cube_dag_sc):
+        t1 = simulate(
+            cube_dag_sc, ClusterConfig(4, 2), scheduler="random", seed=9
+        )
+        t2 = simulate(
+            cube_dag_sc, ClusterConfig(4, 2), scheduler="random", seed=9
+        )
+        np.testing.assert_array_equal(t1.start, t2.start)
+
+    def test_factory_produces_fresh_queues(self):
+        factory = make_scheduler("eager")
+        q1, q2 = factory(), factory()
+        q1.push(1, 0.0)
+        assert len(q1) == 1
+        assert len(q2) == 0
