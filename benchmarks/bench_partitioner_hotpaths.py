@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the partitioner hot paths (HEM + FM).
+
+Times the vectorized :func:`repro.graph.coarsen.heavy_edge_matching`
+and the incremental-gain :func:`repro.graph.refine.fm_refine` against
+the seed implementations preserved in :mod:`repro.graph.reference`,
+on the graded benchmark mesh of :mod:`repro.perf.partitioner` — in
+both single-constraint and MC_TL (temporal-level indicator) mode.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_partitioner_hotpaths.py -s
+
+or standalone (prints the full perf-suite report)::
+
+    PYTHONPATH=src python benchmarks/bench_partitioner_hotpaths.py [--size smoke]
+
+The tracked baseline lives in ``BENCH_partitioner.json``; refresh or
+diff it with ``scripts/bench_compare.py`` or ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.coarsen import heavy_edge_matching
+from repro.graph.reference import fm_refine_ref, heavy_edge_matching_ref
+from repro.graph.refine import fm_refine
+from repro.perf.partitioner import _projected_partition, bench_graphs
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return bench_graphs("smoke")
+
+
+@pytest.fixture(scope="module")
+def fm_inputs(graphs):
+    g_sc, g_mc = graphs
+    return _projected_partition(g_sc, SEED), _projected_partition(g_mc, SEED)
+
+
+def _hem(g, fn):
+    match = fn(g, np.random.default_rng(SEED))
+    assert np.array_equal(match[match], np.arange(g.num_vertices))
+    return match
+
+
+def test_bench_hem_sc_ref(benchmark, graphs):
+    _hem(graphs[0], lambda g, rng: benchmark(heavy_edge_matching_ref, g, rng))
+
+
+def test_bench_hem_sc_fast(benchmark, graphs):
+    _hem(graphs[0], lambda g, rng: benchmark(heavy_edge_matching, g, rng))
+
+
+def test_bench_hem_mc_tl_ref(benchmark, graphs):
+    _hem(graphs[1], lambda g, rng: benchmark(heavy_edge_matching_ref, g, rng))
+
+
+def test_bench_hem_mc_tl_fast(benchmark, graphs):
+    _hem(graphs[1], lambda g, rng: benchmark(heavy_edge_matching, g, rng))
+
+
+def _fm(g, part0, fn):
+    def run():
+        p = part0.copy()
+        fn(g, p, rng=np.random.default_rng(SEED + 5))
+        return p
+
+    return run
+
+
+def test_bench_fm_sc_ref(benchmark, graphs, fm_inputs):
+    benchmark(_fm(graphs[0], fm_inputs[0], fm_refine_ref))
+
+
+def test_bench_fm_sc_fast(benchmark, graphs, fm_inputs):
+    benchmark(_fm(graphs[0], fm_inputs[0], fm_refine))
+
+
+def test_bench_fm_mc_tl_ref(benchmark, graphs, fm_inputs):
+    benchmark(_fm(graphs[1], fm_inputs[1], fm_refine_ref))
+
+
+def test_bench_fm_mc_tl_fast(benchmark, graphs, fm_inputs):
+    benchmark(_fm(graphs[1], fm_inputs[1], fm_refine))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import argparse
+
+    from repro.perf import format_report, run_suite
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--size", choices=["smoke", "full", "both"], default="full")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args()
+    sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    print(format_report(run_suite(sizes, repeats=args.repeats)))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Measure the partitioner hot paths and diff against the tracked baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_compare.py            # diff vs BENCH_partitioner.json
+    PYTHONPATH=src python scripts/bench_compare.py --update   # re-measure and overwrite it
+    PYTHONPATH=src python scripts/bench_compare.py --size smoke --repeats 2
+
+Exits 1 if any HEM/FM fast-path timing regressed by more than
+``--threshold`` (default 3x) against the baseline.  The baseline file
+is committed so the perf trajectory is tracked PR-over-PR; refresh it
+with ``--update`` after intentional changes (numbers are
+machine-dependent — compare like with like).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.perf import (  # noqa: E402
+    compare_results,
+    format_report,
+    load_baseline,
+    run_suite,
+    save_baseline,
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_partitioner.json",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON path"
+    )
+    ap.add_argument("--size", choices=["smoke", "full", "both"], default="both")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument("--threshold", type=float, default=3.0)
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with this run instead of diffing",
+    )
+    args = ap.parse_args(argv)
+
+    sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    result = run_suite(
+        sizes, repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
+    )
+    print(format_report(result))
+
+    if args.update:
+        save_baseline(result, args.baseline)
+        print(f"updated {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"no baseline at {args.baseline}; run with --update to create it",
+            file=sys.stderr,
+        )
+        return 2
+    problems = compare_results(
+        load_baseline(args.baseline), result, threshold=args.threshold
+    )
+    if problems:
+        for msg in problems:
+            print(f"REGRESSION {msg}", file=sys.stderr)
+        return 1
+    print(f"no regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

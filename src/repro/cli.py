@@ -12,14 +12,25 @@ Commands
     both strategies.
 ``mesh <name>``
     Generate a replica mesh, print its summary, optionally save it.
+``bench``
+    Run the partitioner hot-path microbenchmarks; optionally compare
+    against (or update) the ``BENCH_partitioner.json`` baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main"]
+
+
+def _apply_jobs(args: argparse.Namespace) -> None:
+    if getattr(args, "jobs", None) is not None:
+        from .experiments.common import set_default_n_jobs
+
+        set_default_n_jobs(args.jobs)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -32,6 +43,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments as ex
 
+    _apply_jobs(args)
     name = args.name
     scale = args.scale
     if name == "fig05":
@@ -109,6 +121,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     from .experiments.common import run_flusim
     from .viz import render_process_gantt
 
+    _apply_jobs(args)
     for strategy in ("SC_OC", "MC_TL"):
         dag, trace, metrics = run_flusim(
             args.mesh,
@@ -140,6 +153,39 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
     if args.output:
         save_mesh(mesh, args.output)
         print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        compare_results,
+        format_report,
+        load_baseline,
+        run_suite,
+        save_baseline,
+    )
+
+    if args.compare and not os.path.exists(args.compare):
+        print(f"no baseline at {args.compare}", file=sys.stderr)
+        return 2
+
+    sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    result = run_suite(
+        sizes, repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
+    )
+    print(format_report(result))
+    if args.output:
+        save_baseline(result, args.output)
+        print(f"wrote {args.output}")
+    if args.compare:
+        problems = compare_results(
+            load_baseline(args.compare), result, threshold=args.threshold
+        )
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION {msg}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare}")
     return 0
 
 
@@ -180,6 +226,12 @@ def main(argv: list[str] | None = None) -> int:
         ],
     )
     p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="partitioner worker threads (default: REPRO_N_JOBS or serial)",
+    )
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("gantt", help="print Gantt charts for both strategies")
@@ -189,6 +241,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--scale", type=int, default=None)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="partitioner worker threads (default: REPRO_N_JOBS or serial)",
+    )
     p.set_defaults(func=_cmd_gantt)
 
     p = sub.add_parser("mesh", help="generate and inspect a replica mesh")
@@ -199,6 +257,36 @@ def main(argv: list[str] | None = None) -> int:
         "--map", action="store_true", help="print the ASCII τ map"
     )
     p.set_defaults(func=_cmd_mesh)
+
+    p = sub.add_parser(
+        "bench", help="run the partitioner hot-path microbenchmarks"
+    )
+    p.add_argument(
+        "--size", choices=["smoke", "full", "both"], default="full"
+    )
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="n_jobs for the parallel k-way benchmark leg",
+    )
+    p.add_argument(
+        "--output", default=None, help="write results as a JSON baseline"
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        help="baseline JSON to diff against (exit 1 on regression)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="slowdown factor that counts as a regression",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

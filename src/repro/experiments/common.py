@@ -7,6 +7,7 @@ the benchmark suite does not regenerate/re-partition the same inputs.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -19,11 +20,40 @@ from ..taskgraph import generate_task_graph
 __all__ = [
     "NUM_LEVELS",
     "PAPER_CONFIGS",
+    "default_n_jobs",
+    "set_default_n_jobs",
     "standard_case",
     "cached_decomposition",
     "cached_task_graph",
     "run_flusim",
 ]
+
+#: Process-wide default for the partitioner's ``n_jobs`` knob;
+#: ``None`` falls back to the ``REPRO_N_JOBS`` environment variable.
+_default_n_jobs: int | None = None
+
+
+def set_default_n_jobs(n: int | None) -> None:
+    """Set the partitioner worker count used by the experiment
+    harnesses (``None`` reverts to ``REPRO_N_JOBS`` / serial)."""
+    global _default_n_jobs
+    _default_n_jobs = n
+
+
+def default_n_jobs() -> int:
+    """Partitioner worker count for experiment runs.
+
+    Resolution order: :func:`set_default_n_jobs` (e.g. the CLI's
+    ``--jobs``), then the ``REPRO_N_JOBS`` environment variable, then
+    serial.
+    """
+    if _default_n_jobs is not None:
+        return max(1, _default_n_jobs)
+    env = os.environ.get("REPRO_N_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
 
 #: Temporal level count per mesh (Table I).
 NUM_LEVELS = {"cylinder": 4, "cube": 4, "pprime_nozzle": 3}
@@ -79,10 +109,17 @@ def _decomp_cached(
     processes: int,
     strategy: str,
     seed: int,
+    n_jobs: int,
 ) -> DomainDecomposition:
     mesh, tau = standard_case(name, scale=scale)
     return make_decomposition(
-        mesh, tau, domains, processes, strategy=strategy, seed=seed
+        mesh,
+        tau,
+        domains,
+        processes,
+        strategy=strategy,
+        seed=seed,
+        n_jobs=n_jobs,
     )
 
 
@@ -94,13 +131,40 @@ def cached_decomposition(
     *,
     scale: int | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> DomainDecomposition:
     """Memoized :func:`repro.partitioning.make_decomposition` on a
-    standard case."""
-    return _decomp_cached(name, scale, domains, processes, strategy, seed)
+    standard case (``n_jobs=None`` uses :func:`default_n_jobs`)."""
+    if n_jobs is None:
+        n_jobs = default_n_jobs()
+    return _decomp_cached(
+        name, scale, domains, processes, strategy, seed, n_jobs
+    )
 
 
 @lru_cache(maxsize=64)
+def _task_graph_cached(
+    name: str,
+    domains: int,
+    processes: int,
+    strategy: str,
+    scale: int | None,
+    seed: int,
+    n_jobs: int,
+):
+    mesh, tau = standard_case(name, scale=scale)
+    decomp = cached_decomposition(
+        name,
+        domains,
+        processes,
+        strategy,
+        scale=scale,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
+    return generate_task_graph(mesh, tau, decomp)
+
+
 def cached_task_graph(
     name: str,
     domains: int,
@@ -108,13 +172,14 @@ def cached_task_graph(
     strategy: str,
     scale: int | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ):
     """Memoized task graph for a standard case + decomposition."""
-    mesh, tau = standard_case(name, scale=scale)
-    decomp = cached_decomposition(
-        name, domains, processes, strategy, scale=scale, seed=seed
+    if n_jobs is None:
+        n_jobs = default_n_jobs()
+    return _task_graph_cached(
+        name, domains, processes, strategy, scale, seed, n_jobs
     )
-    return generate_task_graph(mesh, tau, decomp)
 
 
 def run_flusim(

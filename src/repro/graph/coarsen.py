@@ -41,31 +41,46 @@ class CoarseningLevel:
     cmap: np.ndarray
 
 
-def heavy_edge_matching(
-    g: CSRGraph,
-    rng: np.random.Generator,
-    *,
-    balance_constraints: bool = True,
+def _segmented_max(score: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Per-edge expansion of the per-segment max of ``score`` over the
+    contiguous segments beginning at ``starts`` (which must start at 0
+    and be strictly increasing)."""
+    rowmax = np.maximum.reduceat(score, starts)
+    seg_len = np.diff(np.append(starts, len(score)))
+    return np.repeat(rowmax, seg_len)
+
+
+def _segmented_argmax_first(
+    score: np.ndarray, seg_max: np.ndarray, starts: np.ndarray
 ) -> np.ndarray:
-    """Compute a heavy-edge matching.
+    """Flat index of the first edge attaining its segment max.
 
-    Returns ``match`` where ``match[v]`` is the vertex matched with
-    ``v`` (``match[v] == v`` for unmatched vertices).  The matching is
-    symmetric: ``match[match[v]] == v``.
-
-    When ``balance_constraints`` is true and the graph has more than
-    one constraint, ties between equally heavy edges are broken toward
-    the neighbour minimizing the spread (max-min) of the combined
-    constraint vector, following the multi-constraint HEM heuristic.
+    ``seg_max`` is the per-edge expansion from :func:`_segmented_max`.
+    Segments whose max is ``-inf`` get an arbitrary index; callers must
+    mask on the max.
     """
-    n = g.num_vertices
-    match = np.arange(n, dtype=np.int64)
-    order = rng.permutation(n)
-    xadj, adjncy, adjwgt = g.xadj, g.adjncy, g.adjwgt
-    multi = balance_constraints and g.ncon > 1
-    vwgt = g.vwgt
+    hit_idx = np.flatnonzero(score == seg_max)
+    if len(hit_idx) == 0:
+        return np.zeros(len(starts), dtype=np.int64)
+    pos = np.minimum(np.searchsorted(hit_idx, starts), len(hit_idx) - 1)
+    return hit_idx[pos]
 
-    for v in order:
+
+def _matching_fallback(
+    g: CSRGraph,
+    match: np.ndarray,
+    candidates: np.ndarray,
+    rng: np.random.Generator,
+    multi: bool,
+) -> None:
+    """Greedy per-vertex matching over the remaining ``candidates``.
+
+    Invoked on the small tail left after the vectorized proposal rounds
+    (or when a round makes no progress on an adversarial tie pattern);
+    guarantees termination with the same semantics as the seed loop.
+    """
+    xadj, adjncy, adjwgt, vwgt = g.xadj, g.adjncy, g.adjwgt, g.vwgt
+    for v in candidates[rng.permutation(len(candidates))]:
         if match[v] != v:
             continue
         best = -1
@@ -92,6 +107,125 @@ def heavy_edge_matching(
         if best >= 0:
             match[v] = best
             match[best] = v
+
+
+def heavy_edge_matching(
+    g: CSRGraph,
+    rng: np.random.Generator,
+    *,
+    balance_constraints: bool = True,
+) -> np.ndarray:
+    """Compute a heavy-edge matching (vectorized).
+
+    Returns ``match`` where ``match[v]`` is the vertex matched with
+    ``v`` (``match[v] == v`` for unmatched vertices).  The matching is
+    symmetric: ``match[match[v]] == v``.
+
+    When ``balance_constraints`` is true and the graph has more than
+    one constraint, ties between equally heavy edges are broken toward
+    the neighbour minimizing the spread (max-min) of the combined
+    constraint vector, following the multi-constraint HEM heuristic.
+
+    Implementation: randomized *proposal rounds* instead of the seed's
+    greedy per-vertex loop.  Each round, every unmatched vertex points
+    at its best unmatched neighbour — heaviest edge, then smallest
+    constraint spread, then a symmetric per-round random key
+    ``r[u] + r[v]`` — and mutual proposals are matched.  Because the
+    edge key is symmetric and (almost surely) totally ordered, the
+    best-keyed edge of the remaining subgraph is always mutual, so each
+    round makes progress; the rare adversarial tie pattern falls back
+    to the greedy loop.  All per-round work is O(m) NumPy — this is the
+    partitioner's hottest kernel and dominates coarsening time.
+    """
+    n = g.num_vertices
+    match = np.arange(n, dtype=np.int64)
+    if n == 0 or len(g.adjncy) == 0:
+        return match
+    multi = balance_constraints and g.ncon > 1
+
+    # Working COO edge set, sorted by source (CSR order); compacted to
+    # live endpoints every round, so per-round cost shrinks
+    # geometrically and the total work stays O(m).
+    e_src = g.edge_sources()
+    e_dst = g.adjncy
+    e_w = g.adjwgt
+    if multi:
+        combined = g.vwgt[e_src] + g.vwgt[e_dst]
+        e_spread = combined.max(axis=1) - combined.min(axis=1)
+    else:
+        e_spread = None
+
+    # Symmetric per-edge random tie-break key, drawn once: both
+    # directions of an undirected edge see the same value, so the
+    # best-keyed edge of the live subgraph is always mutually proposed
+    # and every round makes progress.
+    r = rng.random(n)
+    e_rand = r[e_src] + r[e_dst]
+    # Unweighted graphs (every mesh dual's finest level) skip the
+    # heaviest-edge stage entirely: all edges tie.
+    uniform = not multi and e_w.min() == e_w.max()
+
+    alive = np.ones(n, dtype=bool)
+    neg_inf = -np.inf
+    # A few thousand leftover vertices are cheaper to finish with the
+    # greedy loop than with more full-array rounds.
+    greedy_cutoff = 2048
+    # Rounds halve the edge set in expectation; the cap is a safety
+    # net — leftovers are handled by the greedy fallback.
+    max_rounds = 4 * int(np.ceil(np.log2(n + 1))) + 8
+    for _ in range(max_rounds):
+        if len(e_src) == 0:
+            return match
+        if len(e_src) <= greedy_cutoff:
+            break
+
+        # Segment boundaries: runs of equal e_src (sorted).
+        first = np.ones(len(e_src), dtype=bool)
+        first[1:] = e_src[1:] != e_src[:-1]
+        starts = np.flatnonzero(first)
+        rows = e_src[starts]
+
+        if uniform:
+            key = e_rand
+        else:
+            # Stage 1: per-row heaviest edge.
+            near = e_w >= _segmented_max(e_w, starts) - 1e-12
+            # Stage 2 (multi-constraint): smallest combined-weight
+            # spread among the near-heaviest edges.
+            if multi:
+                s = np.where(near, e_spread, np.inf)
+                near &= s <= -_segmented_max(-s, starts) + 1e-12
+            # Stage 3: random tie-break among the surviving edges.
+            key = np.where(near, e_rand, neg_inf)
+        argmax = _segmented_argmax_first(key, _segmented_max(key, starts), starts)
+        # Per-row proposal; every live row has at least one live edge,
+        # so every row proposes.
+        cand_v = e_dst[argmax]
+        cand = np.full(n, -1, dtype=np.int64)
+        cand[rows] = cand_v
+
+        # Match mutual proposals (each pair counted once via v < u).
+        mutual = (cand[cand_v] == rows) & (rows < cand_v)
+        mv = rows[mutual]
+        if len(mv) == 0:
+            break  # adversarial tie pattern: finish greedily
+        mu = cand_v[mutual]
+        match[mv] = mu
+        match[mu] = mv
+        alive[mv] = False
+        alive[mu] = False
+
+        # Compact the edge set to still-live endpoints.
+        keep = alive[e_src] & alive[e_dst]
+        e_src, e_dst = e_src[keep], e_dst[keep]
+        e_rand = e_rand[keep]
+        if not uniform:
+            e_w = e_w[keep]
+            if multi:
+                e_spread = e_spread[keep]
+    if len(e_src):
+        # Unmatched vertices that still have unmatched neighbours.
+        _matching_fallback(g, match, np.unique(e_src), rng, multi)
     return match
 
 
@@ -108,11 +242,13 @@ def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
     uniq, cmap = np.unique(leader, return_inverse=True)
     nc = len(uniq)
 
-    cvwgt = np.zeros((nc, g.vwgt.shape[1]), dtype=np.float64)
-    np.add.at(cvwgt, cmap, g.vwgt)
+    # Per-constraint bincount beats np.add.at's buffered scatter by a
+    # wide margin on the coarsening hot path.
+    cvwgt = np.empty((nc, g.vwgt.shape[1]), dtype=np.float64)
+    for c in range(g.vwgt.shape[1]):
+        cvwgt[:, c] = np.bincount(cmap, weights=g.vwgt[:, c], minlength=nc)
 
-    src = np.repeat(np.arange(n), np.diff(g.xadj))
-    csrc = cmap[src]
+    csrc = cmap[g.edge_sources()]
     cdst = cmap[g.adjncy]
     keep = csrc != cdst  # drop contracted (now internal) edges
     csrc, cdst, w = csrc[keep], cdst[keep], g.adjwgt[keep]
@@ -125,8 +261,7 @@ def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
         first = np.ones(len(key), dtype=bool)
         first[1:] = key[1:] != key[:-1]
         group = np.cumsum(first) - 1
-        gw = np.zeros(group[-1] + 1, dtype=np.float64)
-        np.add.at(gw, group, w)
+        gw = np.bincount(group, weights=w, minlength=group[-1] + 1)
         gsrc = csrc[first]
         gdst = cdst[first]
     else:
@@ -134,7 +269,7 @@ def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
         gsrc = gdst = np.empty(0, dtype=np.int64)
 
     xadj = np.zeros(nc + 1, dtype=np.int64)
-    np.add.at(xadj[1:], gsrc, 1)
+    xadj[1:] = np.bincount(gsrc, minlength=nc)
     np.cumsum(xadj, out=xadj)
     coarse = CSRGraph(xadj, gdst, vwgt=cvwgt, adjwgt=gw)
     return CoarseningLevel(graph=coarse, cmap=cmap)

@@ -51,6 +51,15 @@ class CSRGraph:
     adjncy: np.ndarray
     vwgt: np.ndarray = field(default=None)  # type: ignore[assignment]
     adjwgt: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # Lazily computed derived arrays shared by the hot partitioning
+    # kernels; CSRGraph structure is treated as immutable after
+    # construction, so caching is safe.
+    _degrees: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _edge_sources: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.xadj = _as_index_array(self.xadj)
@@ -91,8 +100,24 @@ class CSRGraph:
         return int(self.xadj[v + 1] - self.xadj[v])
 
     def degrees(self) -> np.ndarray:
-        """Vector of all vertex degrees."""
-        return np.diff(self.xadj)
+        """Vector of all vertex degrees (cached; do not mutate)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.xadj)
+        return self._degrees
+
+    def edge_sources(self) -> np.ndarray:
+        """``(m,)`` source vertex of every directed CSR edge, i.e. the
+        row index aligned with :attr:`adjncy` (cached; do not mutate).
+
+        Coarsening, refinement and the partition metrics all need this
+        ``np.repeat`` expansion; computing it once per graph keeps it
+        off the hot path.
+        """
+        if self._edge_sources is None:
+            self._edge_sources = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+            )
+        return self._edge_sources
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbour indices of vertex ``v`` (a CSR view, do not mutate)."""
@@ -116,7 +141,11 @@ class CSRGraph:
 
     def with_vwgt(self, vwgt: np.ndarray) -> "CSRGraph":
         """Return a shallow copy of the graph with new vertex weights."""
-        return CSRGraph(self.xadj, self.adjncy, vwgt=vwgt, adjwgt=self.adjwgt)
+        g = CSRGraph(self.xadj, self.adjncy, vwgt=vwgt, adjwgt=self.adjwgt)
+        # The structure is shared, so the derived caches are too.
+        g._degrees = self._degrees
+        g._edge_sources = self._edge_sources
+        return g
 
     def subgraph(self, vertices: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
         """Extract the induced subgraph on ``vertices``.
@@ -132,13 +161,18 @@ class CSRGraph:
 
         # Gather all candidate edges from the selected rows.
         starts = self.xadj[vertices]
-        ends = self.xadj[vertices + 1]
-        counts = ends - starts
-        # Build a flat index into adjncy selecting the rows of `vertices`.
+        counts = self.degrees()[vertices]
+        # Build a flat index into adjncy selecting the rows of `vertices`
+        # without a per-row Python loop: within each row the flat index
+        # is `start + offset_in_row`.
         row_of = np.repeat(np.arange(len(vertices)), counts)
-        flat = np.concatenate(
-            [np.arange(s, e) for s, e in zip(starts, ends)]
-        ) if len(vertices) else np.empty(0, dtype=np.int64)
+        total = int(counts.sum())
+        offs = np.cumsum(counts) - counts
+        flat = (
+            np.arange(total, dtype=np.int64) + np.repeat(starts - offs, counts)
+            if len(vertices)
+            else np.empty(0, dtype=np.int64)
+        )
         nbr = self.adjncy[flat]
         wgt = self.adjwgt[flat]
         keep = local[nbr] >= 0
@@ -146,12 +180,10 @@ class CSRGraph:
         nbr_local = local[nbr[keep]]
         wgt = wgt[keep]
 
-        order = np.argsort(row_of, kind="stable")
-        row_of = row_of[order]
-        nbr_local = nbr_local[order]
-        wgt = wgt[order]
+        # `row_of` is already non-decreasing (rows were gathered in
+        # order), so the kept edges are grouped per subgraph row.
         new_xadj = np.zeros(len(vertices) + 1, dtype=np.int64)
-        np.add.at(new_xadj[1:], row_of, 1)
+        new_xadj[1:] = np.bincount(row_of, minlength=len(vertices))
         np.cumsum(new_xadj, out=new_xadj)
         sub = CSRGraph(
             new_xadj,
@@ -207,8 +239,7 @@ def graph_from_edges(
         hi = np.maximum(edges[:, 0], edges[:, 1])
         key = lo * np.int64(n) + hi
         uniq, inv = np.unique(key, return_inverse=True)
-        w = np.zeros(len(uniq), dtype=np.float64)
-        np.add.at(w, inv, ewgt)
+        w = np.bincount(inv, weights=ewgt, minlength=len(uniq))
         lo = (uniq // n).astype(np.int64)
         hi = (uniq % n).astype(np.int64)
     else:
@@ -222,7 +253,7 @@ def graph_from_edges(
     src, dst, wboth = src[order], dst[order], wboth[order]
 
     xadj = np.zeros(n + 1, dtype=np.int64)
-    np.add.at(xadj[1:], src, 1)
+    xadj[1:] = np.bincount(src, minlength=n)
     np.cumsum(xadj, out=xadj)
     return CSRGraph(xadj, dst, vwgt=vwgt, adjwgt=wboth)
 
@@ -244,7 +275,7 @@ def validate_csr(g: CSRGraph) -> None:
         raise ValueError("adjwgt length mismatch")
     if g.vwgt.shape[0] != n:
         raise ValueError("vwgt row count mismatch")
-    src = np.repeat(np.arange(n), np.diff(g.xadj))
+    src = g.edge_sources()
     if np.any(src == g.adjncy):
         raise ValueError("self-loop present")
     # Symmetry: the multiset of (min,max,weight) must pair up evenly.

@@ -27,15 +27,15 @@ __all__ = [
 
 def edge_cut(g: CSRGraph, part: np.ndarray) -> float:
     """Total weight of cut edges (each undirected edge counted once)."""
-    src = np.repeat(np.arange(g.num_vertices), np.diff(g.xadj))
-    cut = part[src] != part[g.adjncy]
+    cut = part[g.edge_sources()] != part[g.adjncy]
     return float(g.adjwgt[cut].sum()) / 2.0
 
 
 def part_weights(g: CSRGraph, part: np.ndarray, nparts: int) -> np.ndarray:
     """Per-part constraint weights, shape ``(nparts, ncon)``."""
-    w = np.zeros((nparts, g.ncon), dtype=np.float64)
-    np.add.at(w, part, g.vwgt)
+    w = np.empty((nparts, g.ncon), dtype=np.float64)
+    for c in range(g.ncon):
+        w[:, c] = np.bincount(part, weights=g.vwgt[:, c], minlength=nparts)
     return w
 
 
@@ -75,7 +75,7 @@ def imbalance(
 
 def boundary_vertices(g: CSRGraph, part: np.ndarray) -> np.ndarray:
     """Indices of vertices adjacent to at least one other part."""
-    src = np.repeat(np.arange(g.num_vertices), np.diff(g.xadj))
+    src = g.edge_sources()
     is_cut = part[src] != part[g.adjncy]
     return np.unique(src[is_cut])
 

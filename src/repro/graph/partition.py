@@ -14,6 +14,8 @@ default and provide a direct k-way variant for ablation.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +26,16 @@ from .metrics import edge_cut, imbalance
 from .refine import fm_refine
 
 __all__ = ["PartitionResult", "partition_graph", "recursive_bisection", "kway_direct"]
+
+
+def _resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/1 → serial, ``-1`` → one
+    worker per CPU, other values are used as-is (minimum 1)."""
+    if n_jobs is None:
+        return 1
+    if n_jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, n_jobs)
 
 
 @dataclass
@@ -56,12 +68,19 @@ def recursive_bisection(
     imbalance_tol: float = 1.05,
     max_passes: int = 8,
     init_trials: int = 8,
+    n_jobs: int | None = 1,
 ) -> np.ndarray:
     """Recursive-bisection partitioning (the paper's method of choice).
 
     The part count is split as evenly as possible at each level:
     ``k -> (ceil(k/2), floor(k/2))`` with part 0 targeting
     ``ceil(k/2)/k`` of every constraint's weight.
+
+    With ``n_jobs > 1`` the two halves produced by each split — which
+    are fully independent subproblems — are dispatched to a thread
+    pool.  Every tree node then draws from its own generator, spawned
+    deterministically from its parent's, so the result depends only on
+    ``rng``'s seed, not on scheduling order or worker count.
     """
     n = g.num_vertices
     part = np.zeros(n, dtype=np.int32)
@@ -72,24 +91,58 @@ def recursive_bisection(
     # so each level gets the depth-th root of the requested tolerance.
     depth = max(1, int(np.ceil(np.log2(nparts))))
     level_tol = max(1.01, imbalance_tol ** (1.0 / depth))
+    n_jobs = _resolve_n_jobs(n_jobs)
 
-    # Stack of (vertex ids, first part id, part count).
-    stack: list[tuple[np.ndarray, int, int]] = [
-        (np.arange(n, dtype=np.int64), 0, nparts)
-    ]
-    while stack:
-        vertices, first, k = stack.pop()
+    if n_jobs == 1:
+        # Serial path: one shared generator, depth-first stack (the
+        # seed behaviour, kept bit-for-bit).
+        stack: list[tuple[np.ndarray, int, int]] = [
+            (np.arange(n, dtype=np.int64), 0, nparts)
+        ]
+        while stack:
+            vertices, first, k = stack.pop()
+            if k <= 1:
+                part[vertices] = first
+                continue
+            k0 = (k + 1) // 2
+            k1 = k - k0
+            frac = k0 / k
+            sub, mapping = g.subgraph(vertices)
+            labels = multilevel_bisect(
+                sub,
+                frac,
+                rng,
+                imbalance_tol=level_tol,
+                max_passes=max_passes,
+                init_trials=init_trials,
+            )
+            left = mapping[labels == 0]
+            right = mapping[labels == 1]
+            if len(left) == 0 or len(right) == 0:
+                # Degenerate split (tiny subgraph): divide arbitrarily.
+                half = max(1, len(mapping) // 2)
+                left, right = mapping[:half], mapping[half:]
+            stack.append((left, first, k0))
+            stack.append((right, first + k0, k1))
+        return part
+
+    def bisect_node(
+        vertices: np.ndarray,
+        first: int,
+        k: int,
+        node_rng: np.random.Generator,
+    ) -> list[tuple[np.ndarray, int, int, np.random.Generator]]:
         if k <= 1:
+            # Disjoint fancy-index write; safe across workers.
             part[vertices] = first
-            continue
+            return []
         k0 = (k + 1) // 2
         k1 = k - k0
-        frac = k0 / k
         sub, mapping = g.subgraph(vertices)
         labels = multilevel_bisect(
             sub,
-            frac,
-            rng,
+            k0 / k,
+            node_rng,
             imbalance_tol=level_tol,
             max_passes=max_passes,
             init_trials=init_trials,
@@ -97,11 +150,25 @@ def recursive_bisection(
         left = mapping[labels == 0]
         right = mapping[labels == 1]
         if len(left) == 0 or len(right) == 0:
-            # Degenerate split (tiny subgraph): divide arbitrarily.
             half = max(1, len(mapping) // 2)
             left, right = mapping[:half], mapping[half:]
-        stack.append((left, first, k0))
-        stack.append((right, first + k0, k1))
+        r_left, r_right = node_rng.spawn(2)
+        return [
+            (left, first, k0, r_left),
+            (right, first + k0, k1, r_right),
+        ]
+
+    with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+        pending = {
+            pool.submit(
+                bisect_node, np.arange(n, dtype=np.int64), 0, nparts, rng
+            )
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                for task in fut.result():
+                    pending.add(pool.submit(bisect_node, *task))
     return part
 
 
@@ -112,20 +179,28 @@ def kway_direct(
     *,
     imbalance_tol: float = 1.05,
     max_passes: int = 8,
+    n_jobs: int | None = 1,
 ) -> np.ndarray:
     """Direct k-way partitioning via recursive bisection followed by a
     round of pairwise k-way FM sweeps between adjacent parts.
 
     Provided as an ablation comparator for the paper's choice of
-    recursive bisection (§V).
+    recursive bisection (§V).  ``n_jobs`` parallelizes the initial
+    recursive bisection; the pairwise sweeps mutate shared state and
+    stay serial.
     """
     part = recursive_bisection(
-        g, nparts, rng, imbalance_tol=imbalance_tol, max_passes=max_passes
+        g,
+        nparts,
+        rng,
+        imbalance_tol=imbalance_tol,
+        max_passes=max_passes,
+        n_jobs=n_jobs,
     )
     if nparts <= 2:
         return part
     # Pairwise refinement between parts that share cut edges.
-    src = np.repeat(np.arange(g.num_vertices), np.diff(g.xadj))
+    src = g.edge_sources()
     for _ in range(2):
         pa = part[src]
         pb = part[g.adjncy]
@@ -161,6 +236,7 @@ def partition_graph(
     imbalance_tol: float = 1.05,
     max_passes: int = 8,
     init_trials: int = 8,
+    n_jobs: int | None = 1,
 ) -> PartitionResult:
     """Partition a (possibly multi-constraint) graph into ``nparts``.
 
@@ -175,6 +251,10 @@ def partition_graph(
     seed:
         Seed for the deterministic RNG driving matching/initial
         partitioning tie-breaks.
+    n_jobs:
+        Worker threads for the independent halves of recursive
+        bisection (``-1`` = one per CPU).  ``n_jobs > 1`` is
+        deterministic for a fixed seed regardless of worker count.
 
     Returns
     -------
@@ -197,10 +277,16 @@ def partition_graph(
             imbalance_tol=imbalance_tol,
             max_passes=max_passes,
             init_trials=init_trials,
+            n_jobs=n_jobs,
         )
     elif method == "kway":
         part = kway_direct(
-            g, nparts, rng, imbalance_tol=imbalance_tol, max_passes=max_passes
+            g,
+            nparts,
+            rng,
+            imbalance_tol=imbalance_tol,
+            max_passes=max_passes,
+            n_jobs=n_jobs,
         )
     else:
         raise ValueError(f"unknown method {method!r}")

@@ -21,6 +21,7 @@ the bottleneck).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 
 import numpy as np
 
@@ -35,12 +36,11 @@ _INF = float("inf")
 def _degrees(g: CSRGraph, part: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Internal/external degrees of every vertex w.r.t. a bisection."""
     n = g.num_vertices
-    src = np.repeat(np.arange(n), np.diff(g.xadj))
+    src = g.edge_sources()
     same = part[src] == part[g.adjncy]
-    ideg = np.zeros(n, dtype=np.float64)
-    edeg = np.zeros(n, dtype=np.float64)
-    np.add.at(ideg, src[same], g.adjwgt[same])
-    np.add.at(edeg, src[~same], g.adjwgt[~same])
+    w = g.adjwgt
+    ideg = np.bincount(src[same], weights=w[same], minlength=n)
+    edeg = np.bincount(src[~same], weights=w[~same], minlength=n)
     return ideg, edeg
 
 
@@ -85,6 +85,8 @@ def fm_refine(
     max_passes: int = 8,
     max_moves_per_pass: int | None = None,
     rng: np.random.Generator | None = None,
+    early_stop: int | None = None,
+    check_cut: bool = False,
 ) -> np.ndarray:
     """Refine a bisection in place and return it.
 
@@ -99,6 +101,28 @@ def fm_refine(
     max_passes:
         FM passes; the loop stops early when a pass yields no
         improvement.
+    early_stop:
+        Abandon a pass's hill climb after this many consecutive
+        non-improving moves (METIS-style); defaults to
+        ``max(100, n // 64)``.
+    check_cut:
+        Debug flag: assert at the end of every pass that the
+        incrementally tracked edge cut agrees with a from-scratch
+        recomputation.
+
+    Implementation note: internal/external degrees and the edge cut are
+    computed once and then maintained *incrementally* around each moved
+    (and rolled-back) vertex, so a pass costs O(moved-edge endpoints)
+    instead of O(n + m).  Only boundary vertices enter the move queue,
+    matching METIS semantics.
+
+    Two priority queues are used.  When every edge weight is exactly 1
+    (true for all mesh-dual finest levels, where FM spends most of its
+    time) gains are integers in ``[-maxdeg, maxdeg]``, so the classic
+    Fiduccia–Mattheyses *gain bucket* array gives O(1) push/pop and
+    replaces the lazy binary heap; weighted (coarse) graphs keep the
+    heap.  Both queues use lazy deletion — stale entries are skipped on
+    pop by comparing against the current gain.
     """
     n = g.num_vertices
     if n == 0:
@@ -108,10 +132,10 @@ def fm_refine(
     targets = np.array([target_frac, 1.0 - target_frac])
     inv0, inv1 = _inv_denoms(total, targets)
     ncon = g.ncon
-    vw_list: list = g.vwgt.tolist()
 
-    pw_arr = np.zeros((2, ncon), dtype=np.float64)
-    np.add.at(pw_arr, part, g.vwgt)
+    pw_arr = np.empty((2, ncon), dtype=np.float64)
+    for c in range(ncon):
+        pw_arr[:, c] = np.bincount(part, weights=g.vwgt[:, c], minlength=2)
     pw = [list(pw_arr[0]), list(pw_arr[1])]
     inv = [inv0, inv1]
 
@@ -119,74 +143,191 @@ def fm_refine(
         max_moves_per_pass = n
     # METIS-style early pass termination: abandon the hill climb after
     # this many consecutive non-improving moves.
-    early_stop = max(100, n // 64)
+    if early_stop is None:
+        early_stop = max(100, n // 64)
 
     xadj_l: list = g.xadj.tolist()
     adj_l: list = g.adjncy.tolist()
-    awt_l: list = g.adjwgt.tolist()
+
+    # Unit edge weights -> integer gains -> FM gain buckets.  The
+    # maxdeg guard keeps the per-pass bucket allocation trivial (a
+    # pathological star graph would not benefit from buckets anyway).
+    maxdeg = int(g.degrees().max()) if len(g.adjncy) else 0
+    aw = g.adjwgt
+    use_buckets = (
+        len(aw) > 0 and maxdeg <= 4096 and aw.min() == 1.0 and aw.max() == 1.0
+    )
+    off = maxdeg
+
+    # MC_TL weight vectors are binary level indicators: at most one
+    # nonzero per vertex (trivially true for ncon == 1 as well).  A
+    # move then changes a single constraint, and while every ratio is
+    # within tolerance, admissibility reduces to an O(1) check on that
+    # constraint — equivalent to the full O(ncon) max (unchanged
+    # ratios stay feasible, and the repair clause can never fire from
+    # a feasible state).
+    one_hot = int(np.count_nonzero(g.vwgt, axis=1).max()) <= 1 if n else True
+    if one_hot:
+        col = np.argmax(g.vwgt, axis=1)
+        col_l: list = col.tolist()
+        wcol_l: list = g.vwgt[np.arange(n), col].tolist()
+    # Per-constraint flat columns (much cheaper to build than the
+    # nested ``vwgt.tolist()``) feed the generic admissibility loop;
+    # one-hot graphs only need them if a pass starts infeasible, so
+    # the conversion is done lazily.  Likewise the edge-weight list is
+    # only needed by the weighted (heap) queue.
+    vw_cols: list[list] | None = (
+        None if one_hot else [g.vwgt[:, c].tolist() for c in range(ncon)]
+    )
+    awt_l: list | None = None if use_buckets else g.adjwgt.tolist()
+
+    # Degrees and cut are maintained incrementally from here on.
+    ideg_a, edeg_a = _degrees(g, part)
+    ideg: list = ideg_a.tolist()
+    edeg: list = edeg_a.tolist()
+    cur_cut = float(edeg_a.sum()) / 2.0
+    part_l: list = part.tolist()
+    # Boundary of the first pass comes from one vectorized scan; later
+    # passes rebuild it from the vertices actually touched, keeping
+    # per-pass overhead proportional to the work done, not to n.
+    boundary = np.flatnonzero(edeg_a > 0)
 
     for _ in range(max_passes):
-        ideg, edeg = _degrees(g, part)
-        boundary = np.flatnonzero(edeg > 0)
         if len(boundary) == 0:
             break
-        stale: list = (edeg - ideg).tolist()  # current gain per vertex
         locked = bytearray(n)
-        part_l: list = part.tolist()
-        heap: list[tuple[float, int, int]] = []
-        counter = 0
-        for v in boundary[rng.permutation(len(boundary))]:
-            heap.append((-stale[v], counter, int(v)))
-            counter += 1
-        heapq.heapify(heap)
+        touched: list[int] = []
+        if use_buckets:
+            buckets: list[deque[int]] = [deque() for _ in range(2 * maxdeg + 1)]
+            gmax = -1
+            for v in boundary[rng.permutation(len(boundary))].tolist():
+                gi = int(edeg[v] - ideg[v]) + off
+                buckets[gi].append(v)
+                if gi > gmax:
+                    gmax = gi
+        else:
+            heap: list[tuple[float, int, int]] = []
+            counter = 0
+            for v in boundary[rng.permutation(len(boundary))]:
+                heap.append((ideg[v] - edeg[v], counter, int(v)))
+                counter += 1
+            heapq.heapify(heap)
 
-        cur_cut = edge_cut(g, part)
         best_cut = cur_cut
         best_imb = _max_imb(pw[0], pw[1], inv0, inv1)
         moves: list[int] = []
         best_prefix = 0
         budget = max_moves_per_pass
         tol = imbalance_tol
+        # One-hot fast balance path: valid while every ratio is within
+        # tolerance (an admitted move keeps it that way, so the flag
+        # holds for the whole pass).
+        fast_bal = one_hot and best_imb <= tol
+        if not fast_bal and vw_cols is None:
+            vw_cols = [g.vwgt[:, c].tolist() for c in range(ncon)]
 
-        while heap and budget > 0:
-            negg, _, v = heapq.heappop(heap)
-            if locked[v] or -negg != stale[v]:
-                continue
+        while budget > 0:
+            # Lazy deletion on both queues: skip stale entries, locked
+            # and interior vertices (only boundary vertices may move).
+            if use_buckets:
+                while gmax >= 0 and not buckets[gmax]:
+                    gmax -= 1
+                if gmax < 0:
+                    break
+                v = buckets[gmax].popleft()
+                gain = edeg[v] - ideg[v]
+                if locked[v] or gain + off != gmax or edeg[v] <= 0:
+                    continue
+            else:
+                if not heap:
+                    break
+                negg, _, v = heapq.heappop(heap)
+                gain = edeg[v] - ideg[v]
+                if locked[v] or -negg != gain or edeg[v] <= 0:
+                    continue
             src_p = part_l[v]
             dst_p = 1 - src_p
-            vw = vw_list[v]
             pws, pwd = pw[src_p], pw[dst_p]
             invs, invd = inv[src_p], inv[dst_p]
-            # Admissibility on plain floats: new worst imbalance.
-            cur_imb = 1.0
-            new_imb = 1.0
-            for c in range(ncon):
-                w = vw[c]
-                rs = pws[c] * invs[c]
-                rd = pwd[c] * invd[c]
-                if rs > cur_imb:
-                    cur_imb = rs
-                if rd > cur_imb:
-                    cur_imb = rd
-                nrs = (pws[c] - w) * invs[c]
-                nrd = (pwd[c] + w) * invd[c]
-                if nrs > new_imb:
-                    new_imb = nrs
-                if nrd > new_imb:
-                    new_imb = nrd
-            if not (new_imb <= tol or new_imb < cur_imb - 1e-12):
-                continue
-
-            # Apply the move.
-            locked[v] = 1
-            part_l[v] = dst_p
-            for c in range(ncon):
-                w = vw[c]
+            if fast_bal:
+                # Only constraint col[v] changes; all others stay
+                # feasible, so checking the two new ratios is exact.
+                c = col_l[v]
+                w = wcol_l[v]
+                if (pws[c] - w) * invs[c] > tol or (pwd[c] + w) * invd[c] > tol:
+                    continue
+                # Apply the move.
+                locked[v] = 1
+                part_l[v] = dst_p
                 pws[c] -= w
                 pwd[c] += w
-            cur_cut -= stale[v]
+                new_imb = best_imb  # feasible marker; exact value unused
+            else:
+                # Admissibility on plain floats: new worst imbalance.
+                cur_imb = 1.0
+                new_imb = 1.0
+                for c in range(ncon):
+                    w = vw_cols[c][v]
+                    rs = pws[c] * invs[c]
+                    rd = pwd[c] * invd[c]
+                    if rs > cur_imb:
+                        cur_imb = rs
+                    if rd > cur_imb:
+                        cur_imb = rd
+                    nrs = (pws[c] - w) * invs[c]
+                    nrd = (pwd[c] + w) * invd[c]
+                    if nrs > new_imb:
+                        new_imb = nrs
+                    if nrd > new_imb:
+                        new_imb = nrd
+                if not (new_imb <= tol or new_imb < cur_imb - 1e-12):
+                    continue
+
+                # Apply the move.
+                locked[v] = 1
+                part_l[v] = dst_p
+                for c in range(ncon):
+                    w = vw_cols[c][v]
+                    pws[c] -= w
+                    pwd[c] += w
+            cur_cut -= gain
+            # v's own internal/external degrees swap when it flips.
+            ideg[v], edeg[v] = edeg[v], ideg[v]
             moves.append(v)
             budget -= 1
+
+            # Update neighbour degrees (and thus gains) incrementally.
+            # This must happen before any early-stop break so the
+            # persistent degree arrays stay consistent for rollback.
+            if use_buckets:
+                for idx in range(xadj_l[v], xadj_l[v + 1]):
+                    u = adj_l[idx]
+                    touched.append(u)
+                    if part_l[u] == dst_p:
+                        ideg[u] += 1.0
+                        edeg[u] -= 1.0
+                    else:
+                        ideg[u] -= 1.0
+                        edeg[u] += 1.0
+                    if not locked[u] and edeg[u] > 0:
+                        gi = int(edeg[u] - ideg[u]) + off
+                        buckets[gi].append(u)
+                        if gi > gmax:
+                            gmax = gi
+            else:
+                for idx in range(xadj_l[v], xadj_l[v + 1]):
+                    u = adj_l[idx]
+                    w = awt_l[idx]
+                    touched.append(u)
+                    if part_l[u] == dst_p:
+                        ideg[u] += w
+                        edeg[u] -= w
+                    else:
+                        ideg[u] -= w
+                        edeg[u] += w
+                    if not locked[u] and edeg[u] > 0:
+                        heapq.heappush(heap, (ideg[u] - edeg[u], counter, u))
+                        counter += 1
 
             feasible_now = new_imb <= tol
             feasible_best = best_imb <= tol
@@ -209,33 +350,72 @@ def fm_refine(
             elif len(moves) - best_prefix > early_stop:
                 break
 
-            # Update neighbour gains.
-            for idx in range(xadj_l[v], xadj_l[v + 1]):
-                u = adj_l[idx]
-                if locked[u]:
-                    continue
-                w = awt_l[idx]
-                if part_l[u] == dst_p:
-                    stale[u] -= 2.0 * w
-                else:
-                    stale[u] += 2.0 * w
-                heapq.heappush(heap, (-stale[u], counter, u))
-                counter += 1
-
         # Roll back the tail beyond the best prefix.
         improved = best_prefix > 0
-        for v in moves[best_prefix:]:
+        for v in reversed(moves[best_prefix:]):
             src_p = part_l[v]
             dst_p = 1 - src_p
             part_l[v] = dst_p
-            vw = vw_list[v]
-            for c in range(ncon):
-                w = vw[c]
+            if one_hot:
+                c = col_l[v]
+                w = wcol_l[v]
                 pw[src_p][c] -= w
                 pw[dst_p][c] += w
-        part[:] = part_l
+            else:
+                for c in range(ncon):
+                    w = vw_cols[c][v]
+                    pw[src_p][c] -= w
+                    pw[dst_p][c] += w
+            cur_cut -= edeg[v] - ideg[v]
+            ideg[v], edeg[v] = edeg[v], ideg[v]
+            if use_buckets:
+                for idx in range(xadj_l[v], xadj_l[v + 1]):
+                    u = adj_l[idx]
+                    if part_l[u] == dst_p:
+                        ideg[u] += 1.0
+                        edeg[u] -= 1.0
+                    else:
+                        ideg[u] -= 1.0
+                        edeg[u] += 1.0
+            else:
+                for idx in range(xadj_l[v], xadj_l[v + 1]):
+                    u = adj_l[idx]
+                    w = awt_l[idx]
+                    if part_l[u] == dst_p:
+                        ideg[u] += w
+                        edeg[u] -= w
+                    else:
+                        ideg[u] -= w
+                        edeg[u] += w
+        if check_cut:
+            part[:] = part_l
+            ref_cut = edge_cut(g, part)
+            if abs(cur_cut - ref_cut) > 1e-6 * max(1.0, abs(ref_cut)):
+                raise AssertionError(
+                    f"incremental cut {cur_cut} != recomputed {ref_cut}"
+                )
         if not improved:
             break
+        # Next pass's boundary: only moved/touched vertices can have
+        # changed degrees, so filter the union instead of rescanning n.
+        if moves or touched:
+            cand = np.unique(
+                np.concatenate(
+                    [
+                        boundary,
+                        np.asarray(moves, dtype=np.int64),
+                        np.asarray(touched, dtype=np.int64),
+                    ]
+                )
+            )
+            boundary = cand[
+                np.asarray([edeg[i] for i in cand.tolist()]) > 0
+            ]
+        else:
+            boundary = boundary[
+                np.asarray([edeg[i] for i in boundary.tolist()]) > 0
+            ]
+    part[:] = part_l
     return part
 
 
@@ -260,8 +440,9 @@ def rebalance(
     n = g.num_vertices
     total = g.total_vwgt()
     targets = np.array([target_frac, 1.0 - target_frac])
-    pw = np.zeros((2, g.ncon), dtype=np.float64)
-    np.add.at(pw, part, g.vwgt)
+    pw = np.empty((2, g.ncon), dtype=np.float64)
+    for c in range(g.ncon):
+        pw[:, c] = np.bincount(part, weights=g.vwgt[:, c], minlength=2)
     if max_moves is None:
         max_moves = n
 

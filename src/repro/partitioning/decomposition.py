@@ -8,7 +8,7 @@ evenly across processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,6 +39,15 @@ class DomainDecomposition:
     domain_process: np.ndarray
     num_processes: int
     strategy: str = "?"
+    # Lazy domain -> cells grouping (cells sorted by domain + slice
+    # bounds); callers iterate over every domain, so one argsort beats
+    # ``num_domains`` full scans.
+    _group_order: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _group_bounds: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.domain = np.ascontiguousarray(self.domain, dtype=np.int32)
@@ -94,5 +103,15 @@ class DomainDecomposition:
         return np.flatnonzero(self.domain_process == p)
 
     def cells_of_domain(self, d: int) -> np.ndarray:
-        """Cell indices belonging to domain ``d``."""
-        return np.flatnonzero(self.domain == d)
+        """Cell indices belonging to domain ``d`` (ascending)."""
+        if self._group_order is None:
+            order = np.argsort(self.domain, kind="stable")
+            bounds = np.searchsorted(
+                self.domain[order],
+                np.arange(self.num_domains + 1),
+            )
+            self._group_order = order
+            self._group_bounds = bounds
+        return self._group_order[
+            self._group_bounds[d] : self._group_bounds[d + 1]
+        ]

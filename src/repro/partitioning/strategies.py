@@ -62,6 +62,7 @@ def sc_oc_partition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     method: str = "recursive",
+    n_jobs: int | None = 1,
 ) -> np.ndarray:
     """Single-Constraint Operating-Cost partitioning (the baseline).
 
@@ -75,6 +76,7 @@ def sc_oc_partition(
         seed=seed,
         imbalance_tol=imbalance_tol,
         method=method,
+        n_jobs=n_jobs,
     ).part
 
 
@@ -86,6 +88,7 @@ def mc_tl_partition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     method: str = "recursive",
+    n_jobs: int | None = 1,
 ) -> np.ndarray:
     """Multi-Constraint Temporal-Level partitioning (the paper's
     contribution).
@@ -102,6 +105,7 @@ def mc_tl_partition(
         seed=seed,
         imbalance_tol=imbalance_tol,
         method=method,
+        n_jobs=n_jobs,
     ).part
 
 
@@ -113,6 +117,7 @@ def dual_phase_partition(
     *,
     seed: int = 0,
     imbalance_tol: float = 1.05,
+    n_jobs: int | None = 1,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Dual-phase partitioning (paper §VII perspective).
 
@@ -126,7 +131,12 @@ def dual_phase_partition(
     of each domain.
     """
     proc_of_cell = mc_tl_partition(
-        mesh, tau, num_processes, seed=seed, imbalance_tol=imbalance_tol
+        mesh,
+        tau,
+        num_processes,
+        seed=seed,
+        imbalance_tol=imbalance_tol,
+        n_jobs=n_jobs,
     )
     cost = operating_costs(tau)
     g = mesh_to_dual_graph(mesh, vwgt=cost)
@@ -147,6 +157,7 @@ def dual_phase_partition(
             domains_per_process,
             seed=seed + 1 + p,
             imbalance_tol=imbalance_tol,
+            n_jobs=n_jobs,
         ).part
         domain[mapping] = base + labels
     return domain, domain_process
@@ -238,13 +249,15 @@ def make_decomposition(
     strategy: str = "SC_OC",
     seed: int = 0,
     imbalance_tol: float = 1.05,
+    n_jobs: int | None = 1,
 ) -> DomainDecomposition:
     """Partition a mesh and map the domains to processes.
 
     ``strategy`` is one of :data:`STRATEGIES` (``"SC_OC"``,
     ``"MC_TL"``, ``"RCB"``, ``"SFC"``) or ``"DUAL"`` for the dual-phase
     scheme (which requires ``num_domains`` to be a multiple of
-    ``num_processes``).
+    ``num_processes``).  ``n_jobs`` is forwarded to the graph
+    partitioner for the strategies that use it.
     """
     if strategy == "DUAL":
         if num_domains % num_processes:
@@ -258,6 +271,7 @@ def make_decomposition(
             num_domains // num_processes,
             seed=seed,
             imbalance_tol=imbalance_tol,
+            n_jobs=n_jobs,
         )
         return DomainDecomposition(
             domain=domain,
@@ -280,6 +294,7 @@ def make_decomposition(
             num_domains,
             seed=seed,
             imbalance_tol=imbalance_tol,
+            n_jobs=n_jobs,
         )
     else:
         domain = fn(mesh, tau, num_domains, seed=seed)

@@ -1,0 +1,29 @@
+"""Performance tracking for the partitioner hot paths.
+
+The :mod:`repro.perf.partitioner` module times the vectorized
+heavy-edge matching and incremental-gain FM against the seed
+implementations kept in :mod:`repro.graph.reference`, and records the
+results in ``BENCH_partitioner.json`` so the perf trajectory is
+tracked PR-over-PR (run via ``python -m repro bench`` or
+``scripts/bench_compare.py``).
+"""
+
+from .partitioner import (
+    bench_graphs,
+    compare_results,
+    format_report,
+    load_baseline,
+    run_benchmarks,
+    run_suite,
+    save_baseline,
+)
+
+__all__ = [
+    "bench_graphs",
+    "compare_results",
+    "format_report",
+    "load_baseline",
+    "run_benchmarks",
+    "run_suite",
+    "save_baseline",
+]

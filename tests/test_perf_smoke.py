@@ -1,0 +1,58 @@
+"""Quick perf regression check against the tracked baseline.
+
+Deselected by default (timing assertions are load-sensitive); run
+explicitly with::
+
+    PYTHONPATH=src python -m pytest -m perf_smoke
+
+Re-measures the HEM/FM fast paths at the ``smoke`` benchmark size
+(~15 s total) and fails if any of them got more than 3x slower than
+the committed ``BENCH_partitioner.json`` — i.e. if a change threw away
+the fast-path speedups this file guards.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.perf import compare_results, load_baseline, run_benchmarks
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_partitioner.json",
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not os.path.exists(BASELINE):
+        pytest.skip("no BENCH_partitioner.json baseline")
+    return load_baseline(BASELINE)
+
+
+def test_smoke_fast_paths_not_regressed(baseline):
+    t0 = time.perf_counter()
+    current = {
+        "cases": {"smoke": run_benchmarks(size="smoke", repeats=2, seed=3)}
+    }
+    elapsed = time.perf_counter() - t0
+    problems = compare_results(baseline, current, threshold=3.0)
+    assert not problems, "; ".join(problems)
+    # Keep this check cheap enough to run habitually.
+    assert elapsed < 30.0, f"smoke benchmark took {elapsed:.1f} s (>30 s)"
+
+
+def test_smoke_fast_paths_still_faster_than_seed(baseline):
+    # The recorded baseline itself must show the fast paths winning —
+    # guards against regenerating BENCH_partitioner.json from a tree
+    # where the optimizations are disabled.
+    for kernel in ("hem", "fm"):
+        for mode in ("sc", "mc_tl"):
+            entry = baseline["cases"]["smoke"][kernel][mode]
+            assert entry["speedup"] > 1.0, (kernel, mode, entry)
+    assert baseline["cases"]["full"]["combined"]["mc_tl"]["speedup"] >= 3.0

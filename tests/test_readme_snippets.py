@@ -43,7 +43,9 @@ class TestDocumentation:
 
     def test_design_and_experiments_reference_real_benches(self):
         bench_names = {
-            p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+            p.name
+            for d in ("benchmarks", "scripts")
+            for p in (REPO_ROOT / d).glob("bench_*.py")
         }
         for doc in ("DESIGN.md", "EXPERIMENTS.md"):
             text = (REPO_ROOT / doc).read_text()
