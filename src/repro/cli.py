@@ -15,6 +15,13 @@ Commands
 ``bench``
     Run the partitioner hot-path microbenchmarks; optionally compare
     against (or update) the ``BENCH_partitioner.json`` baseline.
+``campaign``
+    Run a multi-iteration solver campaign with optional physics
+    guards, fault injection, checkpointing and resume.
+
+User-facing failures (bad paths, invalid sizes, corrupt checkpoints)
+exit nonzero with a one-line message; pass ``--debug`` (before the
+subcommand) to re-raise with the full traceback.
 """
 
 from __future__ import annotations
@@ -111,6 +118,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 ex.distribution_sensitivity.run()
             )
         )
+    elif name == "chaos":
+        kwargs = {} if scale is None else {"scale": scale}
+        print(ex.chaos_study.report(ex.chaos_study.run(**kwargs)))
     else:
         print(f"unknown experiment {name!r}", file=sys.stderr)
         return 2
@@ -189,10 +199,111 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .experiments.common import standard_case
+    from .resilience import (
+        FaultPlan,
+        FaultSpec,
+        GuardConfig,
+        find_latest_checkpoint,
+    )
+    from .runtime import RetryPolicy
+    from .solver import blast_wave
+    from .solver.driver import SimulationDriver
+
+    if args.iterations < 1:
+        raise ValueError(f"--iterations must be >= 1, got {args.iterations}")
+    mesh, _ = standard_case(args.mesh, scale=args.scale)
+
+    guard = None
+    if args.guard:
+        guard = GuardConfig(
+            max_drift=args.max_drift,
+            max_consecutive_rollbacks=args.max_rollbacks,
+        )
+    retry = None
+    if args.retries:
+        retry = RetryPolicy(max_retries=args.retries, backoff=args.backoff)
+    fault_plan = None
+    specs = []
+    if args.fault_transient > 0:
+        specs.append(FaultSpec("transient", args.fault_transient))
+    if args.fault_straggler > 0:
+        specs.append(
+            FaultSpec("straggler", args.fault_straggler, delay=0.002)
+        )
+    if args.fault_poison > 0:
+        specs.append(FaultSpec("poison", args.fault_poison))
+    if specs:
+        fault_plan = FaultPlan(specs=specs, seed=args.fault_seed)
+
+    executor = "threaded" if (args.threaded or fault_plan) else "serial"
+    resilience = dict(
+        guard=guard,
+        executor=executor,
+        cores_per_process=args.cores,
+        fault_plan=fault_plan,
+        retry=retry,
+        watchdog=args.watchdog,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    if args.resume:
+        if args.checkpoint_dir is None:
+            raise ValueError("--resume needs --checkpoint-dir")
+        latest = find_latest_checkpoint(args.checkpoint_dir)
+        if latest is None:
+            raise ValueError(
+                f"no checkpoint found in {args.checkpoint_dir}"
+            )
+        # 0 (the default) means "inherit the interval the checkpoint
+        # was written with".
+        resilience["checkpoint_every"] = args.checkpoint_every or None
+        driver = SimulationDriver.from_checkpoint(mesh, latest, **resilience)
+        print(f"resumed from {latest} (iteration {driver.iteration})")
+    else:
+        driver = SimulationDriver(
+            mesh,
+            blast_wave(mesh),
+            num_domains=args.domains,
+            num_processes=args.processes,
+            strategy=args.strategy,
+            seed=args.seed,
+            **resilience,
+        )
+
+    result = driver.run(args.iterations)
+    totals = result.state.conserved_total(mesh)
+    elapsed = sum(r.elapsed for r in result.records)
+    print(
+        f"campaign: {args.iterations} iterations "
+        f"({result.records[0].iteration}..{result.records[-1].iteration}) "
+        f"on {args.mesh}, strategy {driver.strategy}, "
+        f"executor {executor}"
+    )
+    print(
+        f"  elapsed {elapsed:.3f}s, repartitions "
+        f"{result.num_repartitions}, level drift "
+        f"{result.level_drift_fraction(mesh.num_cells):.4f}"
+    )
+    print(f"  health: {result.health.summary()}")
+    with np.printoptions(precision=6):
+        print(f"  conserved totals: {totals}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise errors with the full traceback",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -223,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
             "multi",
             "scaling",
             "distribution",
+            "chaos",
         ],
     )
     p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
@@ -288,8 +400,100 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(func=_cmd_bench)
 
+    p = sub.add_parser(
+        "campaign",
+        help="run a multi-iteration campaign (guards, faults, checkpoints)",
+    )
+    p.add_argument("--mesh", default="cube")
+    p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--domains", type=int, default=8)
+    p.add_argument("--processes", type=int, default=4)
+    p.add_argument("--strategy", default="MC_TL")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--threaded",
+        action="store_true",
+        help="run on the threaded runtime (implied by fault injection)",
+    )
+    p.add_argument("--cores", type=int, default=2, help="threads per process")
+    p.add_argument(
+        "--guard",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="post-iteration physics guards with rollback",
+    )
+    p.add_argument(
+        "--max-drift",
+        type=float,
+        default=1e-4,
+        help="relative conserved-total drift bound per iteration",
+    )
+    p.add_argument(
+        "--max-rollbacks",
+        type=int,
+        default=3,
+        help="consecutive rollbacks before giving up",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3, help="per-task retry budget (0=off)"
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.001, help="base retry backoff [s]"
+    )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        help="per-task deadline in seconds (threaded executor)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, help="directory for checkpoints"
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint every N iterations (needs --checkpoint-dir)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    p.add_argument(
+        "--fault-transient",
+        type=float,
+        default=0.0,
+        help="injected transient-failure rate per task",
+    )
+    p.add_argument(
+        "--fault-straggler",
+        type=float,
+        default=0.0,
+        help="injected straggler rate per task",
+    )
+    p.add_argument(
+        "--fault-poison",
+        type=float,
+        default=0.0,
+        help="injected NaN-poisoning rate per task",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_campaign)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro ... | head`
+        return 0
+    except (ValueError, OSError, RuntimeError) as exc:
+        # RuntimeError covers the resilience hierarchy (checkpoint,
+        # guard, timeout errors); --debug re-raises for a traceback.
+        if args.debug:
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

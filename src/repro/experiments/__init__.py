@@ -28,12 +28,14 @@ octree3d                    the phenomenon on a true 3D octree mesh
 multi_iteration             cross-iteration pipelining (steady state)
 distribution_sensitivity    when does MC_TL matter? (τ-mix sweep)
 strong_scaling              SC_OC saturates; MC_TL keeps scaling
+chaos_study                 campaigns under injected faults
 ==========================  =======================================
 """
 
 from . import (
     ablations,
     adaptation_study,
+    chaos_study,
     comm_sensitivity,
     distribution_sensitivity,
     dual_phase,
@@ -76,6 +78,7 @@ __all__ = [
     "dual_phase",
     "ablations",
     "adaptation_study",
+    "chaos_study",
     "comm_sensitivity",
     "distribution_sensitivity",
     "multi_iteration",

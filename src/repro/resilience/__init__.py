@@ -1,0 +1,51 @@
+"""Resilience layer: fault injection, physics guards, checkpoints.
+
+FLUSEPA-class campaigns run for thousands of iterations; this package
+gives the reproduction the machinery to survive what such runs
+actually meet — transient task failures, stragglers/hangs, silent data
+corruption, and whole-process death:
+
+* :mod:`~repro.resilience.faults` — deterministic, seeded fault
+  injection to make the rest *testable*;
+* :mod:`~repro.resilience.guards` — post-iteration physics validation
+  and in-memory rollback snapshots;
+* :mod:`~repro.resilience.checkpoint` — atomic on-disk campaign
+  checkpoints and restart;
+* :mod:`~repro.resilience.errors` — the shared exception hierarchy
+  (the executor's retry/watchdog machinery in
+  :mod:`repro.runtime.executor` builds on it).
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    find_latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .errors import (
+    CheckpointError,
+    PhysicsGuardError,
+    ResilienceError,
+    TaskTimeoutError,
+    TransientError,
+)
+from .faults import FaultPlan, FaultSpec
+from .guards import GuardConfig, GuardReport, StateSnapshot, check_state
+
+__all__ = [
+    "ResilienceError",
+    "TransientError",
+    "TaskTimeoutError",
+    "PhysicsGuardError",
+    "CheckpointError",
+    "FaultSpec",
+    "FaultPlan",
+    "GuardConfig",
+    "GuardReport",
+    "StateSnapshot",
+    "check_state",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "find_latest_checkpoint",
+]

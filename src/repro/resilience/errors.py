@@ -1,0 +1,72 @@
+"""Exception hierarchy of the resilience layer.
+
+The executor, the physics guards and the checkpoint store each signal
+failure through a dedicated class so callers can distinguish *retry
+this* (:class:`TransientError`), *this worker is gone*
+(:class:`TaskTimeoutError`), *the physics went bad — roll back*
+(:class:`PhysicsGuardError`) and *this checkpoint is unusable*
+(:class:`CheckpointError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "TransientError",
+    "TaskTimeoutError",
+    "PhysicsGuardError",
+    "CheckpointError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class of all resilience-layer failures."""
+
+
+class TransientError(ResilienceError):
+    """A task failure that is expected to succeed on retry.
+
+    This is the default member of
+    :attr:`repro.runtime.executor.RetryPolicy.retry_on`; fault
+    injection raises it for its simulated transient failures, and real
+    kernels may raise it for recoverable conditions (e.g. a resource
+    temporarily unavailable).
+    """
+
+
+class TaskTimeoutError(ResilienceError):
+    """A task exceeded the executor's watchdog deadline.
+
+    The hung worker thread cannot be reclaimed (Python threads are not
+    killable), so the execution is aborted with this error instead of
+    stalling forever; the campaign driver treats it as a rollback
+    trigger.
+    """
+
+    def __init__(
+        self, task: int, process: int, worker: int, deadline: float
+    ) -> None:
+        self.task = int(task)
+        self.process = int(process)
+        self.worker = int(worker)
+        self.deadline = float(deadline)
+        super().__init__(
+            f"task {task} exceeded the {deadline:g}s watchdog deadline "
+            f"on process {process} worker {worker}; aborting execution"
+        )
+
+
+class PhysicsGuardError(ResilienceError):
+    """The physics guards kept failing after exhausting rollbacks.
+
+    Carries the final :class:`~repro.resilience.guards.GuardReport`
+    violations so the campaign's last diagnostic is preserved.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        self.violations = list(violations or [])
+        super().__init__(message)
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be written, found, or safely loaded."""

@@ -1,0 +1,199 @@
+"""Physics guards and in-memory rollback snapshots.
+
+After every (sub)iteration a campaign can validate its
+:class:`~repro.solver.lts.LTSState`:
+
+* no NaN/Inf anywhere in ``U`` or the flux accumulators (the symptom
+  of silent data corruption — e.g. a bit flip or an injected NaN);
+* density and pressure strictly above configurable floors (the symptom
+  of a CFL violation or a bad flux evaluation);
+* the conserved totals (mass/energy, which the LTS scheme preserves to
+  machine precision in the absence of boundary outflow) within a
+  relative drift bound of a reference.
+
+A failed check triggers rollback to the last
+:class:`StateSnapshot` — an in-memory deep copy of the solver state
+plus the temporal configuration it was valid for.  Restoration builds
+*fresh* arrays rather than writing in place, so a zombie worker thread
+abandoned by the watchdog can never scribble on the restored state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh.structures import Mesh
+from ..solver.euler import pressure
+from ..solver.lts import LTSState
+
+__all__ = ["GuardConfig", "GuardReport", "check_state", "StateSnapshot"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """What the physics guards enforce.
+
+    Parameters
+    ----------
+    min_density, min_pressure:
+        Strict lower bounds on cell density/pressure.
+    max_drift:
+        Relative drift bound on the conserved totals versus the
+        reference (``None`` disables the drift check).  Only
+        ``drift_components`` are checked: momentum is exchanged with
+        the boundary (pressure forces), so mass (0) and energy (3) are
+        the meaningful invariants.
+    max_consecutive_rollbacks:
+        Consecutive failed iterations before the campaign gives up
+        with a :class:`~repro.resilience.errors.PhysicsGuardError`.
+    """
+
+    min_density: float = 0.0
+    min_pressure: float = 0.0
+    max_drift: float | None = 1e-6
+    drift_components: tuple[int, ...] = (0, 3)
+    max_consecutive_rollbacks: int = 3
+
+
+@dataclass
+class GuardReport:
+    """Outcome of one :func:`check_state` call."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _finite_violation(name: str, arr: np.ndarray) -> str | None:
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        cells = np.unique(np.argwhere(bad)[:, 0])[:5]
+        return (
+            f"{name} has {int(bad.sum())} non-finite entries "
+            f"(first cells: {cells.tolist()})"
+        )
+    return None
+
+
+def check_state(
+    mesh: Mesh,
+    state: LTSState,
+    config: GuardConfig = GuardConfig(),
+    *,
+    reference_total: np.ndarray | None = None,
+) -> GuardReport:
+    """Validate a solver state; returns a report, never raises.
+
+    ``reference_total`` is the conserved-total vector
+    (:meth:`LTSState.conserved_total`) the drift check compares
+    against — typically captured with the rollback snapshot.
+    """
+    violations: list[str] = []
+    for name, arr in (
+        ("U", state.U),
+        ("acc", state.acc),
+        ("acc2", state.acc2),
+    ):
+        msg = _finite_violation(name, arr)
+        if msg:
+            violations.append(msg)
+
+    # Primitive-variable floors are meaningless on non-finite data.
+    if not violations:
+        rho = state.U[:, 0]
+        low = rho <= config.min_density
+        if low.any():
+            worst = int(np.argmin(rho))
+            violations.append(
+                f"{int(low.sum())} cells at or below density floor "
+                f"{config.min_density:g} (worst: cell {worst}, "
+                f"rho={rho[worst]:.3e})"
+            )
+        p = pressure(state.U)
+        low = p <= config.min_pressure
+        if low.any():
+            worst = int(np.argmin(p))
+            violations.append(
+                f"{int(low.sum())} cells at or below pressure floor "
+                f"{config.min_pressure:g} (worst: cell {worst}, "
+                f"p={p[worst]:.3e})"
+            )
+        if config.max_drift is not None and reference_total is not None:
+            total = state.conserved_total(mesh)
+            for c in config.drift_components:
+                ref = float(reference_total[c])
+                drift = abs(float(total[c]) - ref) / max(abs(ref), 1.0)
+                if drift > config.max_drift:
+                    violations.append(
+                        f"conserved component {c} drifted by {drift:.3e} "
+                        f"(bound {config.max_drift:g}): "
+                        f"{ref:.12e} -> {float(total[c]):.12e}"
+                    )
+    return GuardReport(ok=not violations, violations=violations)
+
+
+class StateSnapshot:
+    """Deep copy of the solver state + temporal configuration.
+
+    Captured before an iteration; :meth:`make_state` rebuilds a *new*
+    :class:`LTSState` (fresh arrays) so restoration is immune to
+    abandoned worker threads still holding references to the old one.
+    """
+
+    __slots__ = ("U", "acc", "Ustar", "acc2", "tau", "dt_min", "iteration")
+
+    def __init__(
+        self,
+        U: np.ndarray,
+        acc: np.ndarray,
+        Ustar: np.ndarray,
+        acc2: np.ndarray,
+        tau: np.ndarray,
+        dt_min: float,
+        iteration: int,
+    ) -> None:
+        self.U = U
+        self.acc = acc
+        self.Ustar = Ustar
+        self.acc2 = acc2
+        self.tau = tau
+        self.dt_min = float(dt_min)
+        self.iteration = int(iteration)
+
+    @classmethod
+    def capture(
+        cls,
+        state: LTSState,
+        *,
+        tau: np.ndarray,
+        dt_min: float,
+        iteration: int = 0,
+    ) -> "StateSnapshot":
+        """Deep-copy ``state`` (and its temporal config) for rollback."""
+        return cls(
+            U=state.U.copy(),
+            acc=state.acc.copy(),
+            Ustar=state.Ustar.copy(),
+            acc2=state.acc2.copy(),
+            tau=np.array(tau, copy=True),
+            dt_min=dt_min,
+            iteration=iteration,
+        )
+
+    def make_state(self) -> LTSState:
+        """Rebuild a fresh :class:`LTSState` from the snapshot."""
+        st = LTSState(self.U)
+        st.acc[:] = self.acc
+        st.Ustar[:] = self.Ustar
+        st.acc2[:] = self.acc2
+        return st
+
+    def conserved_total(self, mesh: Mesh) -> np.ndarray:
+        """Conserved totals of the snapshotted state."""
+        return (self.U * mesh.cell_volumes[:, None]).sum(axis=0) + (
+            self.acc
+        ).sum(axis=0)

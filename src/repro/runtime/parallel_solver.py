@@ -24,11 +24,12 @@ import numpy as np
 
 from ..mesh.structures import Mesh
 from ..partitioning.decomposition import DomainDecomposition
+from ..resilience.faults import FaultPlan
 from ..solver.euler import FLUXES, physical_flux
 from ..solver.lts import LTSState
 from ..solver.runner import TaskDistributedSolver
 from ..taskgraph.task import ObjectType
-from .executor import ExecutionResult, ThreadedExecutor
+from .executor import ExecutionResult, RetryPolicy, ThreadedExecutor
 
 __all__ = ["ParallelSolverRun", "run_iteration_threaded"]
 
@@ -96,6 +97,9 @@ def run_iteration_threaded(
     *,
     num_processes: int | None = None,
     cores_per_process: int = 2,
+    fault_plan: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    watchdog: float | None = None,
 ) -> ParallelSolverRun:
     """Run one solver iteration on real worker threads.
 
@@ -108,6 +112,12 @@ def run_iteration_threaded(
         Worker groups; defaults to the decomposition's process count.
     cores_per_process:
         Threads per group.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; the task
+        bodies are wrapped with its injected faults (NaN poisoning
+        targets the stage-1 accumulators).
+    retry, watchdog:
+        Forwarded to :class:`~repro.runtime.executor.ThreadedExecutor`.
 
     Returns
     -------
@@ -147,8 +157,17 @@ def run_iteration_threaded(
             state.acc[objs] = 0.0
             state.acc2[objs] = 0.0
 
+    fn = task_fn
+    if fault_plan is not None:
+        fn = fault_plan.wrap(
+            task_fn,
+            phase_of=t.phase_tau,
+            domain_of=t.domain,
+            poison_targets=(state.acc,),
+        )
     executor = ThreadedExecutor(
-        dag, num_processes, cores_per_process, task_fn
+        dag, num_processes, cores_per_process, fn,
+        retry=retry, watchdog=watchdog,
     )
     result = executor.run()
     return ParallelSolverRun(result=result, state=state)

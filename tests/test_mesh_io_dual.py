@@ -28,6 +28,64 @@ class TestIO:
         with pytest.raises(ValueError, match="missing"):
             load_mesh(path)
 
+    def test_missing_file_passes_through(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mesh(tmp_path / "nope.npz")
+
+    def test_unreadable_archive_names_file(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="corrupt.npz"):
+            load_mesh(path)
+
+    def test_truncated_archive(self, tmp_path, small_mesh):
+        path = tmp_path / "trunc.npz"
+        save_mesh(small_mesh, path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(ValueError, match="trunc.npz"):
+            load_mesh(path)
+
+    def _fields(self, mesh):
+        return {
+            f: getattr(mesh, f).copy()
+            for f in (
+                "cell_centers", "cell_volumes", "cell_depth",
+                "face_cells", "face_area", "face_normal", "face_center",
+            )
+        }
+
+    def test_shape_mismatch_names_field(self, tmp_path, small_mesh):
+        fields = self._fields(small_mesh)
+        fields["cell_centers"] = fields["cell_centers"][:-1]
+        path = tmp_path / "shape.npz"
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="'cell_centers' has shape"):
+            load_mesh(path)
+
+    def test_wrong_dtype_names_field(self, tmp_path, small_mesh):
+        fields = self._fields(small_mesh)
+        fields["cell_depth"] = fields["cell_depth"].astype(np.float64)
+        path = tmp_path / "dtype.npz"
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="'cell_depth' has dtype"):
+            load_mesh(path)
+
+    def test_nonfinite_values_rejected(self, tmp_path, small_mesh):
+        fields = self._fields(small_mesh)
+        fields["cell_volumes"][0] = np.nan
+        path = tmp_path / "nan.npz"
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="non-finite"):
+            load_mesh(path)
+
+    def test_out_of_range_face_cells_rejected(self, tmp_path, small_mesh):
+        fields = self._fields(small_mesh)
+        fields["face_cells"][0, 0] = small_mesh.num_cells + 5
+        path = tmp_path / "range.npz"
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="face_cells"):
+            load_mesh(path)
+
 
 class TestDualGraph:
     def test_structure(self, small_mesh):

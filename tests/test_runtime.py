@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.runtime import ThreadedExecutor, run_iteration_threaded
+from repro.resilience import TaskTimeoutError, TransientError
+from repro.runtime import RetryPolicy, ThreadedExecutor, run_iteration_threaded
 from repro.solver import LTSState, TaskDistributedSolver, blast_wave
 from repro.solver.timestep import stable_timesteps
 from tests.test_flusim import chain_dag, independent_dag
@@ -68,6 +70,29 @@ class TestThreadedExecutor:
 
         with pytest.raises(RuntimeError, match="kernel failure"):
             ThreadedExecutor(dag, 1, 2, fn).run()
+
+    def test_failure_leaves_no_worker_threads(self):
+        """The satellite contract for the pre-resilience failure path:
+        the exception propagates from run() and every worker thread
+        terminates — no hang, no partial-result object."""
+        dag = independent_dag([0.0] * 8, [i % 2 for i in range(8)])
+
+        def fn(t):
+            if t == 5:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            ThreadedExecutor(dag, 2, 2, fn).run()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            alive = [
+                th for th in threading.enumerate()
+                if th.name.startswith("repro-worker")
+            ]
+            if not alive:
+                break
+            time.sleep(0.01)
+        assert not alive
 
     def test_validation_errors(self):
         dag = independent_dag([1.0], [5])
@@ -136,3 +161,180 @@ class TestParallelSolver:
         from repro.solver import pressure
 
         assert pressure(st.U).min() > 0
+
+
+class FlakyFn:
+    """Task body that fails the first ``fail_counts[t]`` attempts."""
+
+    def __init__(self, fail_counts, exc=TransientError):
+        self.fail_counts = dict(fail_counts)
+        self.exc = exc
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, t):
+        with self.lock:
+            self.calls.append(t)
+            if self.fail_counts.get(t, 0) > 0:
+                self.fail_counts[t] -= 1
+                raise self.exc(f"flaky task {t}")
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        p = RetryPolicy(backoff=0.1, backoff_cap=0.35)
+        assert p.delay(1) == pytest.approx(0.1)
+        assert p.delay(2) == pytest.approx(0.2)
+        assert p.delay(3) == pytest.approx(0.35)  # capped
+        assert RetryPolicy(backoff=0.0).delay(5) == 0.0
+
+    def test_retry_recovers_transient_failures(self):
+        dag = chain_dag([0.0] * 4)
+        fn = FlakyFn({1: 2, 3: 1})
+        result = ThreadedExecutor(
+            dag, 1, 2, fn, retry=RetryPolicy(max_retries=2)
+        ).run()
+        assert result.health.retries == 3
+        assert result.health.ok
+        # every task completed exactly once (failed attempts aside)
+        done = [t for t in fn.calls]
+        assert sorted(set(done)) == [0, 1, 2, 3]
+        result.trace.validate_against(dag)
+
+    def test_budget_exhaustion_raises(self):
+        dag = chain_dag([0.0, 0.0])
+        fn = FlakyFn({0: 5})
+        with pytest.raises(TransientError, match="flaky task 0"):
+            ThreadedExecutor(
+                dag, 1, 1, fn, retry=RetryPolicy(max_retries=2)
+            ).run()
+        assert fn.calls == [0, 0, 0]  # initial + 2 retries, then abort
+
+    def test_non_transient_not_retried(self):
+        dag = chain_dag([0.0, 0.0])
+        fn = FlakyFn({0: 1}, exc=ValueError)
+        with pytest.raises(ValueError):
+            ThreadedExecutor(
+                dag, 1, 1, fn, retry=RetryPolicy(max_retries=3)
+            ).run()
+        assert fn.calls == [0]
+
+    def test_fail_fast_false_skips_dependents(self):
+        # 0 -> 1 -> 2 -> 3 chain plus independent singletons: the
+        # chain dies at task 1; the rest of the graph completes.
+        dag = chain_dag([0.0] * 4)
+        fn = FlakyFn({1: 99})
+        result = ThreadedExecutor(
+            dag, 1, 2, fn,
+            retry=RetryPolicy(max_retries=1, fail_fast=False),
+        ).run()
+        h = result.health
+        assert not h.ok
+        assert h.failed == [1]
+        assert h.skipped == [2, 3]
+        assert h.retries == 1
+        assert 1 in h.errors and "flaky task 1" in h.errors[1]
+        assert 0 in fn.calls and 2 not in fn.calls and 3 not in fn.calls
+
+    def test_fail_fast_false_completes_independent_work(self):
+        dag = independent_dag([0.0] * 10, [i % 2 for i in range(10)])
+        fn = FlakyFn({4: 99})
+        result = ThreadedExecutor(
+            dag, 2, 2, fn,
+            retry=RetryPolicy(max_retries=0, fail_fast=False),
+        ).run()
+        assert result.health.failed == [4]
+        assert result.health.skipped == []  # no dependents
+        assert sorted(set(fn.calls)) == list(range(10))
+
+    def test_wasted_seconds_accounted(self):
+        dag = independent_dag([0.0], [0])
+
+        def fn(t):
+            if fn.first:
+                fn.first = False
+                time.sleep(0.02)
+                raise TransientError("slow failure")
+
+        fn.first = True
+        result = ThreadedExecutor(
+            dag, 1, 1, fn, retry=RetryPolicy(max_retries=1)
+        ).run()
+        assert result.health.total_wasted >= 0.02
+        assert result.health.wasted_seconds.shape == (1,)
+
+    def test_health_summary_format(self):
+        dag = independent_dag([0.0], [0])
+        result = ThreadedExecutor(dag, 1, 1, lambda t: None).run()
+        s = result.health.summary()
+        assert "retries=0" in s and "failed=0" in s
+
+
+class TestWatchdog:
+    def test_hung_task_raises_named_timeout(self):
+        dag = independent_dag([0.0] * 3, [0, 0, 0])
+        release = threading.Event()
+
+        def fn(t):
+            if t == 1:
+                release.wait(10.0)  # hang until released
+
+        ex = ThreadedExecutor(dag, 1, 3, fn, watchdog=0.15)
+        t0 = time.monotonic()
+        with pytest.raises(TaskTimeoutError) as err:
+            ex.run()
+        elapsed = time.monotonic() - t0
+        release.set()  # let the zombie thread die
+        assert elapsed < 5.0  # run() did not hang on the stuck worker
+        assert err.value.task == 1
+        assert err.value.process == 0
+        assert "task 1" in str(err.value)
+        assert "0.15" in str(err.value)
+
+    def test_fast_tasks_unaffected(self):
+        dag = chain_dag([0.0] * 10)
+        result = ThreadedExecutor(
+            dag, 1, 2, lambda t: None, watchdog=5.0
+        ).run()
+        assert result.health.ok
+        assert result.health.timed_out == []
+
+    def test_invalid_deadline_rejected(self):
+        dag = chain_dag([0.0])
+        with pytest.raises(ValueError, match="watchdog"):
+            ThreadedExecutor(dag, 1, 1, lambda t: None, watchdog=0.0)
+
+
+class TestFaultInjectionThreaded:
+    def test_injected_transients_recovered_bit_exact(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_mc
+    ):
+        """A threaded iteration under injected pre-body transient
+        faults, with retry, matches the fault-free physics."""
+        from repro.resilience import FaultPlan, FaultSpec
+
+        mesh, tau = small_cube_mesh, small_cube_tau
+        U0 = blast_wave(mesh)
+        dt_min = float((stable_timesteps(mesh, U0) / np.exp2(tau)).min())
+        solver = TaskDistributedSolver(mesh, tau, cube_decomp_mc, dt_min)
+
+        st_ref = LTSState(U0)
+        run_iteration_threaded(solver, st_ref, cores_per_process=2)
+
+        plan = FaultPlan(specs=(FaultSpec("transient", 0.1),), seed=11)
+        plan.set_context(0, 0)
+        st = LTSState(U0)
+        run = run_iteration_threaded(
+            solver,
+            st,
+            cores_per_process=2,
+            fault_plan=plan,
+            retry=RetryPolicy(max_retries=3),
+        )
+        assert plan.injected["transient"] > 0
+        assert run.result.health.retries == plan.injected["transient"]
+        # Deposits commute only up to float addition order, which
+        # thread scheduling perturbs — same tolerance as serial-vs-
+        # threaded above.
+        np.testing.assert_allclose(st.U, st_ref.U, atol=1e-11)
+        np.testing.assert_allclose(st.acc, st_ref.acc, atol=1e-11)
