@@ -18,6 +18,9 @@ Commands
 ``campaign``
     Run a multi-iteration solver campaign with optional physics
     guards, fault injection, checkpointing and resume.
+``fuzz``
+    Run the seeded adversarial fuzzing harness (partition contracts,
+    fast-vs-reference kernel differentials, task-DAG invariants).
 
 User-facing failures (bad paths, invalid sizes, corrupt checkpoints)
 exit nonzero with a one-line message; pass ``--debug`` (before the
@@ -249,15 +252,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         watchdog=args.watchdog,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        debug_verify_dag=args.verify_dag,
     )
 
     if args.resume:
         if args.checkpoint_dir is None:
             raise ValueError("--resume needs --checkpoint-dir")
-        latest = find_latest_checkpoint(args.checkpoint_dir)
+        # validate=True test-loads candidates newest-first and falls
+        # back past corrupt/truncated ones with a warning.
+        latest = find_latest_checkpoint(args.checkpoint_dir, validate=True)
         if latest is None:
             raise ValueError(
-                f"no checkpoint found in {args.checkpoint_dir}"
+                f"no checkpoint found in {args.checkpoint_dir} "
+                "(corrupt checkpoints are skipped with a warning)"
             )
         # 0 (the default) means "inherit the interval the checkpoint
         # was written with".
@@ -293,6 +300,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     with np.printoptions(precision=6):
         print(f"  conserved totals: {totals}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_fuzz
+
+    if args.seeds < 1:
+        raise ValueError(f"--seeds must be >= 1, got {args.seeds}")
+
+    progress = None
+    if args.progress_every > 0:
+        def progress(i: int, total: int) -> None:
+            if i % args.progress_every == 0:
+                print(f"fuzz: seed {args.start + i} ({i}/{total})")
+
+    report = run_fuzz(args.seeds, start=args.start, progress=progress)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -480,7 +504,32 @@ def main(argv: list[str] | None = None) -> int:
         help="injected NaN-poisoning rate per task",
     )
     p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--verify-dag",
+        action="store_true",
+        help="audit every generated task graph (debug; raises on "
+        "invariant violations)",
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="run the adversarial fuzzing harness (contracts + "
+        "differential oracle checks)",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=25, help="number of seeds to run"
+    )
+    p.add_argument(
+        "--start", type=int, default=0, help="first seed (campaign offset)"
+    )
+    p.add_argument(
+        "--progress-every",
+        type=int,
+        default=0,
+        help="print a heartbeat every N seeds (0 = silent)",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

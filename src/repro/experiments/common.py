@@ -51,8 +51,16 @@ def default_n_jobs() -> int:
         return max(1, _default_n_jobs)
     env = os.environ.get("REPRO_N_JOBS", "")
     try:
-        return max(1, int(env))
+        return max(1, int(env)) if env.strip() else 1
     except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"invalid REPRO_N_JOBS value {env!r} (expected an integer); "
+            "falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 #: Temporal level count per mesh (Table I).

@@ -1,0 +1,30 @@
+"""Seeded adversarial fuzzing of the partitioning pipeline.
+
+The harness (:func:`~repro.fuzz.harness.run_fuzz`, also exposed as the
+``repro fuzz`` CLI subcommand) generates pathological graphs and meshes
+and differentially checks the fast partitioner kernels against the
+reference oracles plus the partition/DAG contracts.  See
+:mod:`repro.fuzz.harness` for the full check catalogue.
+"""
+
+from .generators import (
+    GRAPH_GENERATORS,
+    MESH_GENERATORS,
+    GraphCase,
+    MeshCase,
+    make_graph_case,
+    make_mesh_case,
+)
+from .harness import FuzzFailure, FuzzReport, run_fuzz
+
+__all__ = [
+    "run_fuzz",
+    "FuzzReport",
+    "FuzzFailure",
+    "GraphCase",
+    "MeshCase",
+    "make_graph_case",
+    "make_mesh_case",
+    "GRAPH_GENERATORS",
+    "MESH_GENERATORS",
+]

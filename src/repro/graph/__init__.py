@@ -14,6 +14,14 @@ pure NumPy:
   (:func:`~repro.graph.partition.partition_graph`).
 """
 
+from .contracts import (
+    InputReport,
+    PartitionQualityWarning,
+    block_partition,
+    check_partition_contract,
+    connected_components,
+    validate_partition_inputs,
+)
 from .csr import CSRGraph, graph_from_edges, validate_csr
 from .metrics import (
     boundary_vertices,
@@ -45,6 +53,12 @@ __all__ = [
     "partition_graph",
     "recursive_bisection",
     "kway_direct",
+    "PartitionQualityWarning",
+    "InputReport",
+    "validate_partition_inputs",
+    "check_partition_contract",
+    "connected_components",
+    "block_partition",
     "ReconnectResult",
     "part_components",
     "reconnect_parts",

@@ -17,6 +17,7 @@ import heapq
 
 import numpy as np
 
+from ..resilience.errors import PartitionInternalError
 from .csr import CSRGraph
 from .metrics import edge_cut, imbalance
 
@@ -143,5 +144,9 @@ def best_initial_bisection(
         key = (feasible, cut if feasible == 0 else imb, cut)
         if best_key is None or key < best_key:
             best_key, best_part = key, part
-    assert best_part is not None
+    if best_part is None:
+        raise PartitionInternalError(
+            "best_initial_bisection produced no candidate bisection "
+            f"after {max(1, ntrials)} trials on {g.num_vertices} vertices"
+        )
     return best_part

@@ -15,12 +15,23 @@ default and provide a direct k-way variant for ablation.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.errors import PartitionQualityError
 from .bisect import multilevel_bisect
+from .contracts import (
+    apportion_parts,
+    block_partition,
+    check_partition_contract,
+    connected_components,
+    validate_partition_inputs,
+    warn_quality,
+    weighted_contiguous_cuts,
+)
 from .csr import CSRGraph
 from .metrics import edge_cut, imbalance
 from .refine import fm_refine
@@ -28,11 +39,27 @@ from .refine import fm_refine
 __all__ = ["PartitionResult", "partition_graph", "recursive_bisection", "kway_direct"]
 
 
-def _resolve_n_jobs(n_jobs: int | None) -> int:
+def _resolve_n_jobs(n_jobs: int | str | None) -> int:
     """Normalize an ``n_jobs`` knob: ``None``/1 → serial, ``-1`` → one
-    worker per CPU, other values are used as-is (minimum 1)."""
+    worker per CPU, other values are used as-is (minimum 1).
+
+    Accepts strings (e.g. a raw ``REPRO_N_JOBS`` environment value);
+    an unparsable string is *not* worth killing a campaign for — it
+    warns and falls back to serial.
+    """
     if n_jobs is None:
         return 1
+    if isinstance(n_jobs, str):
+        try:
+            n_jobs = int(n_jobs.strip() or "1")
+        except ValueError:
+            warnings.warn(
+                f"invalid n_jobs value {n_jobs!r} (expected an "
+                "integer); falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
     if n_jobs < 0:
         return max(1, os.cpu_count() or 1)
     return max(1, n_jobs)
@@ -52,12 +79,47 @@ class PartitionResult:
         Edge-cut weight of the final partition.
     imbalance:
         ``(ncon,)`` per-constraint imbalance (1.0 = perfect).
+    provenance:
+        Which rung of the pipeline produced the labels: ``"primary"``
+        (the requested method, contract-clean), ``"components"``
+        (component-aware path for a disconnected graph),
+        ``"relaxed"`` (retry with relaxed tolerance), ``"sfc"``
+        (space-filling-curve geometric fallback) or ``"block"``
+        (contiguous block split of last resort).  Anything other than
+        ``"primary"`` was announced via a
+        :class:`~repro.graph.contracts.PartitionQualityWarning`.
+    violations:
+        Contract violations of the *final* labels (empty for a clean
+        result; populated only when every fallback rung still failed
+        some check and the least-bad result was returned).
     """
 
     part: np.ndarray
     nparts: int
     cut: float
     imbalance: np.ndarray
+    provenance: str = "primary"
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _repair_split(
+    left: np.ndarray, right: np.ndarray, k0: int, k1: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ensure each side of a bisection can host its part count.
+
+    ``multilevel_bisect`` balances *weight*, so with heavy-tailed
+    vertex weights a side can end up with fewer vertices than the
+    parts it must be split into (even zero).  A degenerate side is
+    repaired with a proportional split of the combined vertex list,
+    which keeps the recursion invariant ``k <= len(vertices)``
+    (``k0 + k1 <= len(left) + len(right)`` holds at every node).
+    """
+    if len(left) < k0 or len(right) < k1:
+        merged = np.concatenate([left, right])
+        cut = int(round(len(merged) * k0 / (k0 + k1)))
+        cut = min(max(cut, k0), len(merged) - k1)
+        left, right = merged[:cut], merged[cut:]
+    return left, right
 
 
 def recursive_bisection(
@@ -118,10 +180,7 @@ def recursive_bisection(
             )
             left = mapping[labels == 0]
             right = mapping[labels == 1]
-            if len(left) == 0 or len(right) == 0:
-                # Degenerate split (tiny subgraph): divide arbitrarily.
-                half = max(1, len(mapping) // 2)
-                left, right = mapping[:half], mapping[half:]
+            left, right = _repair_split(left, right, k0, k1)
             stack.append((left, first, k0))
             stack.append((right, first + k0, k1))
         return part
@@ -149,9 +208,7 @@ def recursive_bisection(
         )
         left = mapping[labels == 0]
         right = mapping[labels == 1]
-        if len(left) == 0 or len(right) == 0:
-            half = max(1, len(mapping) // 2)
-            left, right = mapping[:half], mapping[half:]
+        left, right = _repair_split(left, right, k0, k1)
         r_left, r_right = node_rng.spawn(2)
         return [
             (left, first, k0, r_left),
@@ -227,6 +284,130 @@ def kway_direct(
     return part
 
 
+def _combined_weight(g: CSRGraph) -> np.ndarray:
+    """Per-vertex scalar proxy weight: every constraint column
+    normalized by its total, then summed — so each constraint
+    contributes equally to the geometric fallbacks."""
+    totals = g.total_vwgt()
+    safe = np.where(totals > 0, totals, 1.0)
+    return (g.vwgt / safe).sum(axis=1)
+
+
+def _run_method(
+    g: CSRGraph,
+    nparts: int,
+    *,
+    method: str,
+    seed: int,
+    imbalance_tol: float,
+    max_passes: int,
+    init_trials: int,
+    n_jobs: int | None,
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if method == "recursive":
+        return recursive_bisection(
+            g,
+            nparts,
+            rng,
+            imbalance_tol=imbalance_tol,
+            max_passes=max_passes,
+            init_trials=init_trials,
+            n_jobs=n_jobs,
+        )
+    if method == "kway":
+        return kway_direct(
+            g,
+            nparts,
+            rng,
+            imbalance_tol=imbalance_tol,
+            max_passes=max_passes,
+            n_jobs=n_jobs,
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _partition_components(
+    g: CSRGraph,
+    nparts: int,
+    comp_labels: np.ndarray,
+    ncomp: int,
+    *,
+    method: str,
+    seed: int,
+    imbalance_tol: float,
+    max_passes: int,
+    init_trials: int,
+    n_jobs: int | None,
+) -> np.ndarray:
+    """Component-aware partitioning of a disconnected graph.
+
+    Each component receives its fair (largest-remainder) share of the
+    ``nparts`` slots, capped by its vertex count, and is partitioned
+    independently; components that earn zero slots are packed onto the
+    part with the least combined weight.  Every part label ends up
+    non-empty because the slot counts sum to ``nparts`` and each
+    component fills all of its own slots.
+    """
+    n = g.num_vertices
+    part = np.zeros(n, dtype=np.int32)
+    members = [np.flatnonzero(comp_labels == c) for c in range(ncomp)]
+    sizes = np.array([len(m) for m in members], dtype=np.int64)
+    proxy = _combined_weight(g)
+    weights = np.array(
+        [float(proxy[m].sum()) for m in members], dtype=np.float64
+    )
+
+    slots = apportion_parts(weights, nparts)
+    # Cap slots at the component's vertex count and hand the overflow
+    # to the heaviest components that can still absorb a slot.
+    over = slots - np.minimum(slots, sizes)
+    slots = np.minimum(slots, sizes)
+    spare = int(over.sum())
+    while spare > 0:
+        room = np.flatnonzero(slots < sizes)
+        # nparts <= n guarantees room is non-empty here.
+        load = weights[room] / (slots[room] + 1.0)
+        best = room[int(np.argmax(load))]
+        slots[best] += 1
+        spare -= 1
+
+    next_label = 0
+    packed: list[int] = []
+    for c in range(ncomp):
+        k = int(slots[c])
+        if k == 0:
+            packed.append(c)
+            continue
+        verts = members[c]
+        if k == 1:
+            part[verts] = next_label
+        else:
+            sub, mapping = g.subgraph(verts)
+            labels = _run_method(
+                sub,
+                k,
+                method=method,
+                seed=int(
+                    np.random.default_rng([seed, c]).integers(2**31 - 1)
+                ),
+                imbalance_tol=imbalance_tol,
+                max_passes=max_passes,
+                init_trials=init_trials,
+                n_jobs=n_jobs,
+            )
+            part[mapping] = next_label + labels
+        next_label += k
+
+    if packed:
+        part_load = np.bincount(part, weights=proxy, minlength=nparts)
+        for c in sorted(packed, key=lambda c: -weights[c]):
+            target = int(np.argmin(part_load))
+            part[members[c]] = target
+            part_load[target] += weights[c]
+    return part
+
+
 def partition_graph(
     g: CSRGraph,
     nparts: int,
@@ -236,7 +417,11 @@ def partition_graph(
     imbalance_tol: float = 1.05,
     max_passes: int = 8,
     init_trials: int = 8,
-    n_jobs: int | None = 1,
+    n_jobs: int | str | None = 1,
+    coords: np.ndarray | None = None,
+    strict: bool = False,
+    validate: bool = True,
+    fallback: bool = True,
 ) -> PartitionResult:
     """Partition a (possibly multi-constraint) graph into ``nparts``.
 
@@ -255,44 +440,191 @@ def partition_graph(
         Worker threads for the independent halves of recursive
         bisection (``-1`` = one per CPU).  ``n_jobs > 1`` is
         deterministic for a fixed seed regardless of worker count.
+    coords:
+        Optional ``(n, 2)`` vertex coordinates.  When supplied, the
+        space-filling-curve rung of the fallback chain becomes
+        available (mesh strategies pass cell centers).
+    strict:
+        Raise :class:`~repro.resilience.errors.PartitionQualityError`
+        when the primary result violates the output contract, instead
+        of walking the fallback chain.
+    validate:
+        Run :func:`~repro.graph.contracts.validate_partition_inputs`
+        (input hardening: disconnected graphs, all-zero constraint
+        columns, ``nparts > n``).
+    fallback:
+        Walk the escalating degradation chain (relaxed tolerance →
+        SFC → block split) on a contract violation.  With
+        ``fallback=False`` the primary result is returned as-is, with
+        its violations recorded.
 
     Returns
     -------
-    :class:`PartitionResult` with labels, cut and per-constraint
-    imbalance.
+    :class:`PartitionResult` with labels, cut, per-constraint
+    imbalance, and the ``provenance`` of the surviving rung.  A result
+    either satisfies the output contract or carries non-default
+    provenance/violations — never silent garbage.
     """
-    if nparts < 1:
-        raise ValueError("nparts must be >= 1")
-    if nparts > g.num_vertices and g.num_vertices > 0:
-        raise ValueError(
-            f"cannot create {nparts} non-empty parts from "
-            f"{g.num_vertices} vertices"
-        )
-    rng = np.random.default_rng(seed)
-    if method == "recursive":
-        part = recursive_bisection(
-            g,
-            nparts,
-            rng,
-            imbalance_tol=imbalance_tol,
-            max_passes=max_passes,
-            init_trials=init_trials,
-            n_jobs=n_jobs,
-        )
-    elif method == "kway":
-        part = kway_direct(
-            g,
-            nparts,
-            rng,
-            imbalance_tol=imbalance_tol,
-            max_passes=max_passes,
-            n_jobs=n_jobs,
-        )
+    if validate:
+        report = validate_partition_inputs(g, nparts)
+        g, nparts = report.graph, report.nparts
     else:
-        raise ValueError(f"unknown method {method!r}")
+        if nparts < 1:
+            raise ValueError("nparts must be >= 1")
+        if nparts > g.num_vertices and g.num_vertices > 0:
+            raise ValueError(
+                f"cannot create {nparts} non-empty parts from "
+                f"{g.num_vertices} vertices"
+            )
+
+    kernel = dict(
+        method=method,
+        seed=seed,
+        imbalance_tol=imbalance_tol,
+        max_passes=max_passes,
+        init_trials=init_trials,
+        n_jobs=n_jobs,
+    )
+
+    provenance = "primary"
+    if validate and nparts > 1 and g.num_vertices > 0:
+        comp_labels, ncomp = connected_components(g)
+        if ncomp > 1:
+            part = _partition_components(
+                g, nparts, comp_labels, ncomp, **kernel
+            )
+            provenance = "components"
+            warn_quality(
+                f"disconnected graph ({ncomp} components): used "
+                "component-aware partitioning",
+                stage="input",
+                provenance="components",
+                violations=[f"{ncomp} connected components"],
+            )
+        else:
+            part = _run_method(g, nparts, **kernel)
+    else:
+        part = _run_method(g, nparts, **kernel)
+
+    violations = check_partition_contract(
+        g, part, nparts, imbalance_tol=imbalance_tol
+    )
+    if violations and strict:
+        raise PartitionQualityError(
+            f"partition of {g.num_vertices} vertices into {nparts} "
+            "parts violates its output contract: "
+            + "; ".join(violations),
+            violations=violations,
+            provenance=provenance,
+        )
+    if violations and fallback:
+        part, provenance, violations = _fallback_chain(
+            g,
+            nparts,
+            part,
+            violations,
+            provenance,
+            coords=coords,
+            kernel=kernel,
+        )
+
     return PartitionResult(
         part=part,
         nparts=nparts,
         cut=edge_cut(g, part),
         imbalance=imbalance(g, part, nparts),
+        provenance=provenance,
+        violations=tuple(violations),
     )
+
+
+#: Multiplier applied to ``imbalance_tol - 1`` for the relaxed-retry
+#: rung (1.05 → 1.25 with the +0.10 floor below).
+_RELAX_FACTOR = 3.0
+_RELAX_FLOOR = 0.10
+
+
+def _fallback_chain(
+    g: CSRGraph,
+    nparts: int,
+    part: np.ndarray,
+    violations: list[str],
+    provenance: str,
+    *,
+    coords: np.ndarray | None,
+    kernel: dict,
+) -> tuple[np.ndarray, str, list[str]]:
+    """Walk the escalating degradation chain after a contract failure.
+
+    Rungs, in order: retry the graph method with a relaxed tolerance;
+    SFC geometric split (when coordinates are available); contiguous
+    block split.  The first rung whose result passes its (relaxed)
+    contract wins; if none does, the least-violating candidate is
+    returned.  Every non-primary outcome emits a
+    :class:`~repro.graph.contracts.PartitionQualityWarning`.
+    """
+    tol = float(kernel["imbalance_tol"])
+    relaxed_tol = 1.0 + _RELAX_FACTOR * (tol - 1.0) + _RELAX_FLOOR
+    candidates: list[tuple[np.ndarray, str, list[str]]] = [
+        (part, provenance, violations)
+    ]
+
+    # First relaxed rung: keep the primary labels if they already meet
+    # the relaxed tolerance — the method optimized the cut at the
+    # strict tolerance, so re-running would trade a marginal balance
+    # miss for a genuinely worse partition.
+    v = check_partition_contract(
+        g, part, nparts, imbalance_tol=relaxed_tol
+    )
+    candidates.append((part, "relaxed", v))
+    if v:
+        relaxed_kernel = dict(kernel)
+        relaxed_kernel["imbalance_tol"] = relaxed_tol
+        relaxed_kernel["seed"] = int(kernel["seed"]) + 7919
+        relaxed = _run_method(g, nparts, **relaxed_kernel)
+        v = check_partition_contract(
+            g, relaxed, nparts, imbalance_tol=relaxed_tol
+        )
+        candidates.append((relaxed, "relaxed", v))
+
+    if not v:
+        chosen = candidates[-1]
+    else:
+        if coords is not None and len(coords) == g.num_vertices:
+            from ..partitioning.sfc import sfc_order
+
+            order = sfc_order(np.asarray(coords, dtype=np.float64))
+            proxy = _combined_weight(g)
+            chunk = weighted_contiguous_cuts(proxy[order], nparts)
+            sfc_part = np.zeros(g.num_vertices, dtype=np.int32)
+            sfc_part[order] = chunk
+            v = check_partition_contract(
+                g, sfc_part, nparts, imbalance_tol=relaxed_tol
+            )
+            candidates.append((sfc_part, "sfc", v))
+        if candidates[-1][2]:
+            blk = block_partition(
+                g.num_vertices, nparts, _combined_weight(g)
+            ).astype(np.int32)
+            v = check_partition_contract(
+                g, blk, nparts, imbalance_tol=relaxed_tol
+            )
+            candidates.append((blk, "block", v))
+        # First clean candidate (skipping the failed primary), else the
+        # least-violating one.
+        chosen = next(
+            (c for c in candidates[1:] if not c[2]),
+            min(candidates, key=lambda c: len(c[2])),
+        )
+
+    part, provenance, violations = chosen
+    warn_quality(
+        f"partition into {nparts} parts failed its contract "
+        f"({'; '.join(candidates[0][2])}); degraded to "
+        f"provenance={provenance!r}"
+        + (f" with residual violations {violations}" if violations else ""),
+        stage="output",
+        provenance=provenance,
+        violations=candidates[0][2] + violations,
+    )
+    return part, provenance, violations

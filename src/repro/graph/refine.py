@@ -25,6 +25,7 @@ from collections import deque
 
 import numpy as np
 
+from ..resilience.errors import PartitionInternalError
 from .csr import CSRGraph
 from .metrics import edge_cut
 
@@ -391,7 +392,7 @@ def fm_refine(
             part[:] = part_l
             ref_cut = edge_cut(g, part)
             if abs(cur_cut - ref_cut) > 1e-6 * max(1.0, abs(ref_cut)):
-                raise AssertionError(
+                raise PartitionInternalError(
                     f"incremental cut {cur_cut} != recomputed {ref_cut}"
                 )
         if not improved:

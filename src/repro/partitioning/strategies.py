@@ -27,11 +27,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..graph.contracts import weighted_contiguous_cuts
 from ..graph.partition import partition_graph
 from ..mesh.dual import mesh_to_dual_graph
 from ..mesh.structures import Mesh
 from ..temporal.levels import operating_costs
 from .decomposition import DomainDecomposition
+
+
+def _check_geometric_inputs(mesh: Mesh, num_domains: int) -> None:
+    """Shared degenerate-input gate of the geometric strategies (the
+    graph strategies get the same checks from
+    :func:`repro.graph.contracts.validate_partition_inputs`)."""
+    if num_domains < 1:
+        raise ValueError("num_domains must be >= 1")
+    if num_domains > mesh.num_cells:
+        raise ValueError(
+            f"cannot create {num_domains} non-empty parts from "
+            f"{mesh.num_cells} vertices"
+        )
 
 __all__ = [
     "sc_oc_partition",
@@ -63,6 +77,7 @@ def sc_oc_partition(
     imbalance_tol: float = 1.05,
     method: str = "recursive",
     n_jobs: int | None = 1,
+    strict: bool = False,
 ) -> np.ndarray:
     """Single-Constraint Operating-Cost partitioning (the baseline).
 
@@ -77,6 +92,8 @@ def sc_oc_partition(
         imbalance_tol=imbalance_tol,
         method=method,
         n_jobs=n_jobs,
+        coords=mesh.cell_centers,
+        strict=strict,
     ).part
 
 
@@ -89,6 +106,7 @@ def mc_tl_partition(
     imbalance_tol: float = 1.05,
     method: str = "recursive",
     n_jobs: int | None = 1,
+    strict: bool = False,
 ) -> np.ndarray:
     """Multi-Constraint Temporal-Level partitioning (the paper's
     contribution).
@@ -106,6 +124,8 @@ def mc_tl_partition(
         imbalance_tol=imbalance_tol,
         method=method,
         n_jobs=n_jobs,
+        coords=mesh.cell_centers,
+        strict=strict,
     ).part
 
 
@@ -118,6 +138,7 @@ def dual_phase_partition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     n_jobs: int | None = 1,
+    strict: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Dual-phase partitioning (paper §VII perspective).
 
@@ -137,6 +158,7 @@ def dual_phase_partition(
         seed=seed,
         imbalance_tol=imbalance_tol,
         n_jobs=n_jobs,
+        strict=strict,
     )
     cost = operating_costs(tau)
     g = mesh_to_dual_graph(mesh, vwgt=cost)
@@ -158,6 +180,8 @@ def dual_phase_partition(
             seed=seed + 1 + p,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            coords=mesh.cell_centers[mapping],
+            strict=strict,
         ).part
         domain[mapping] = base + labels
     return domain, domain_process
@@ -176,6 +200,7 @@ def rcb_partition(
     along the longest axis at the cost-weighted median.  Ignores mesh
     connectivity entirely (paper §VIII).
     """
+    _check_geometric_inputs(mesh, num_domains)
     cost = operating_costs(tau)
     n = mesh.num_cells
     domain = np.zeros(n, dtype=np.int32)
@@ -193,7 +218,10 @@ def rcb_partition(
         csum = np.cumsum(cost[cells][order])
         total = csum[-1]
         split = int(np.searchsorted(csum, total * k0 / k)) + 1
-        split = min(max(split, 1), len(cells) - 1)
+        # Leave each side at least as many cells as it has parts, so
+        # the recursion can never reach an empty cell set (skewed cost
+        # distributions used to crash here).
+        split = min(max(split, k0), len(cells) - (k - k0))
         stack.append((cells[order[:split]], first, k0))
         stack.append((cells[order[split:]], first + k0, k - k0))
     return domain
@@ -216,18 +244,14 @@ def sfc_partition(
     """
     from .sfc import sfc_order
 
+    _check_geometric_inputs(mesh, num_domains)
     cost = operating_costs(tau)
     order = sfc_order(mesh.cell_centers, curve=curve)
-    csum = np.cumsum(cost[order])
-    total = csum[-1]
-    bounds = np.searchsorted(
-        csum, total * np.arange(1, num_domains) / num_domains
-    )
+    # weighted_contiguous_cuts guarantees every chunk is non-empty even
+    # on heavy-tailed costs, where a plain quantile searchsorted can
+    # collapse a chunk to nothing.
     domain = np.zeros(mesh.num_cells, dtype=np.int32)
-    prev = 0
-    for d, b in enumerate(list(bounds) + [mesh.num_cells]):
-        domain[order[prev : b if d < num_domains - 1 else mesh.num_cells]] = d
-        prev = b
+    domain[order] = weighted_contiguous_cuts(cost[order], num_domains)
     return domain
 
 
@@ -250,6 +274,7 @@ def make_decomposition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     n_jobs: int | None = 1,
+    strict: bool = False,
 ) -> DomainDecomposition:
     """Partition a mesh and map the domains to processes.
 
@@ -257,7 +282,10 @@ def make_decomposition(
     ``"MC_TL"``, ``"RCB"``, ``"SFC"``) or ``"DUAL"`` for the dual-phase
     scheme (which requires ``num_domains`` to be a multiple of
     ``num_processes``).  ``n_jobs`` is forwarded to the graph
-    partitioner for the strategies that use it.
+    partitioner for the strategies that use it, and ``strict=True``
+    makes the graph strategies raise
+    :class:`~repro.resilience.errors.PartitionQualityError` instead of
+    degrading through the fallback chain.
     """
     if strategy == "DUAL":
         if num_domains % num_processes:
@@ -272,6 +300,7 @@ def make_decomposition(
             seed=seed,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            strict=strict,
         )
         return DomainDecomposition(
             domain=domain,
@@ -295,6 +324,7 @@ def make_decomposition(
             seed=seed,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            strict=strict,
         )
     else:
         domain = fn(mesh, tau, num_domains, seed=seed)

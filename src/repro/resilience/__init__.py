@@ -24,13 +24,30 @@ from .checkpoint import (
 )
 from .errors import (
     CheckpointError,
+    PartitionError,
+    PartitionInternalError,
+    PartitionQualityError,
     PhysicsGuardError,
     ResilienceError,
     TaskTimeoutError,
     TransientError,
 )
 from .faults import FaultPlan, FaultSpec
-from .guards import GuardConfig, GuardReport, StateSnapshot, check_state
+
+_GUARD_NAMES = ("GuardConfig", "GuardReport", "StateSnapshot", "check_state")
+
+
+def __getattr__(name: str):
+    # Lazy: guards pulls in the solver stack, which depends (via the
+    # partitioning strategies) on the graph layer — and the graph layer
+    # imports this package for its error types.  Deferring the guards
+    # import keeps the low-level graph layer free of that cycle.
+    if name in _GUARD_NAMES:
+        from . import guards
+
+        return getattr(guards, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ResilienceError",
@@ -38,6 +55,9 @@ __all__ = [
     "TaskTimeoutError",
     "PhysicsGuardError",
     "CheckpointError",
+    "PartitionError",
+    "PartitionInternalError",
+    "PartitionQualityError",
     "FaultSpec",
     "FaultPlan",
     "GuardConfig",

@@ -232,18 +232,42 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     )
 
 
-def find_latest_checkpoint(directory: str | Path) -> Path | None:
+def find_latest_checkpoint(
+    directory: str | Path, *, validate: bool = False
+) -> Path | None:
     """Manifest path of the highest-iteration checkpoint in
-    ``directory`` (``None`` if there is none)."""
+    ``directory`` (``None`` if there is none).
+
+    With ``validate=True``, candidates are test-loaded in descending
+    iteration order; a corrupt or truncated checkpoint (e.g. a
+    mid-write kill, a disk error) is skipped with a
+    :class:`RuntimeWarning` and the previous valid one is returned —
+    so ``--resume`` degrades to the last good state instead of
+    crashing.
+    """
+    import warnings
+
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    best: tuple[int, Path] | None = None
+    candidates: list[tuple[int, Path]] = []
     for p in directory.glob(f"{_PREFIX}*.json"):
         stem = p.stem[len(_PREFIX):]
         if not stem.isdigit():
             continue
-        it = int(stem)
-        if best is None or it > best[0]:
-            best = (it, p)
-    return best[1] if best else None
+        candidates.append((int(stem), p))
+    candidates.sort(reverse=True)
+    if not validate:
+        return candidates[0][1] if candidates else None
+    for _, p in candidates:
+        try:
+            load_checkpoint(p)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"skipping corrupt checkpoint {p}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        return p
+    return None

@@ -1,11 +1,12 @@
 """Exception hierarchy of the resilience layer.
 
-The executor, the physics guards and the checkpoint store each signal
-failure through a dedicated class so callers can distinguish *retry
-this* (:class:`TransientError`), *this worker is gone*
-(:class:`TaskTimeoutError`), *the physics went bad — roll back*
-(:class:`PhysicsGuardError`) and *this checkpoint is unusable*
-(:class:`CheckpointError`).
+The executor, the physics guards, the checkpoint store and the
+partitioner contracts each signal failure through a dedicated class so
+callers can distinguish *retry this* (:class:`TransientError`), *this
+worker is gone* (:class:`TaskTimeoutError`), *the physics went bad —
+roll back* (:class:`PhysicsGuardError`), *this checkpoint is unusable*
+(:class:`CheckpointError`) and *the partitioner could not honour its
+output contract* (:class:`PartitionQualityError`).
 """
 
 from __future__ import annotations
@@ -16,6 +17,9 @@ __all__ = [
     "TaskTimeoutError",
     "PhysicsGuardError",
     "CheckpointError",
+    "PartitionError",
+    "PartitionInternalError",
+    "PartitionQualityError",
 ]
 
 
@@ -70,3 +74,39 @@ class PhysicsGuardError(ResilienceError):
 
 class CheckpointError(ResilienceError):
     """A checkpoint could not be written, found, or safely loaded."""
+
+
+class PartitionError(ResilienceError):
+    """Base class of partitioner contract failures."""
+
+
+class PartitionInternalError(PartitionError):
+    """An internal partitioner invariant was violated.
+
+    Replaces the bare ``assert`` statements in the hot kernels (greedy
+    graph growing trial selection, incremental edge-cut tracking) so
+    the safety net survives ``python -O``, which strips asserts.
+    Hitting this is a bug in the partitioner, not in the caller's
+    input.
+    """
+
+
+class PartitionQualityError(PartitionError):
+    """A partition violated its output contract under ``strict=True``.
+
+    Carries the list of contract ``violations`` (human-readable, one
+    per failed check) and the ``provenance`` of the offending result so
+    campaign drivers can log exactly which rung of the pipeline
+    produced it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        violations: list[str] | None = None,
+        provenance: str = "primary",
+    ) -> None:
+        self.violations = list(violations or [])
+        self.provenance = str(provenance)
+        super().__init__(message)

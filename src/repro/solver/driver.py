@@ -154,6 +154,12 @@ class SimulationDriver:
     checkpoint_every, checkpoint_dir:
         Write an atomic checkpoint every N completed iterations into
         ``checkpoint_dir`` (both must be set to enable).
+    debug_verify_dag:
+        Audit every generated task graph with
+        :func:`repro.taskgraph.verify.verify_dag` (structure + coverage
+        invariants) and raise on violations.  Costs one extra pass over
+        the DAG per (re)build — meant for debugging and CI, not
+        production campaigns.
     """
 
     def __init__(
@@ -178,6 +184,7 @@ class SimulationDriver:
         watchdog: float | None = None,
         checkpoint_every: int = 0,
         checkpoint_dir: str | Path | None = None,
+        debug_verify_dag: bool = False,
     ) -> None:
         self._configure(
             mesh,
@@ -198,6 +205,7 @@ class SimulationDriver:
             watchdog=watchdog,
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            debug_verify_dag=debug_verify_dag,
         )
         self.state = LTSState(U0)
         self.iteration = 0
@@ -232,6 +240,7 @@ class SimulationDriver:
         watchdog: float | None,
         checkpoint_every: int,
         checkpoint_dir: str | Path | None,
+        debug_verify_dag: bool = False,
     ) -> None:
         if executor not in ("serial", "threaded"):
             raise ValueError(
@@ -264,6 +273,7 @@ class SimulationDriver:
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        self.debug_verify_dag = debug_verify_dag
 
     # ------------------------------------------------------------------
     @classmethod
@@ -280,6 +290,7 @@ class SimulationDriver:
         watchdog: float | None = None,
         checkpoint_every: int | None = None,
         checkpoint_dir: str | Path | None = None,
+        debug_verify_dag: bool = False,
     ) -> "SimulationDriver":
         """Reconstruct a campaign from an on-disk checkpoint.
 
@@ -325,6 +336,7 @@ class SimulationDriver:
             watchdog=watchdog,
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            debug_verify_dag=debug_verify_dag,
         )
         st = LTSState(ck.U)
         st.acc[:] = ck.acc
@@ -349,6 +361,7 @@ class SimulationDriver:
         drv.solver = TaskDistributedSolver(
             mesh, drv.tau, drv.decomp, drv.dt_min, flux=drv.flux
         )
+        drv._verify_solver_dag()
         return drv
 
     def save_checkpoint(self, directory: str | Path | None = None) -> Path:
@@ -404,6 +417,7 @@ class SimulationDriver:
         self.solver = TaskDistributedSolver(
             self.mesh, self.tau, self.decomp, self.dt_min, flux=self.flux
         )
+        self._verify_solver_dag()
         # Pending accumulations belong to the old schedule; apply any
         # residue before switching task structures so nothing is lost.
         if not first:
@@ -414,6 +428,25 @@ class SimulationDriver:
                     / self.mesh.cell_volumes[nonzero, None]
                 )
                 self.state.acc[nonzero] = 0.0
+
+    def _verify_solver_dag(self) -> None:
+        """Audit the freshly generated task graph (debug mode).
+
+        Runs :func:`repro.taskgraph.verify.verify_dag` with the full
+        coverage checks and raises on any violation — a generator
+        regression should abort the campaign, not skew its results.
+        """
+        if not getattr(self, "debug_verify_dag", False):
+            return
+        from ..taskgraph.verify import verify_dag
+
+        verify_dag(
+            self.solver.dag,
+            self.mesh,
+            self.tau,
+            scheme=self.solver.scheme,
+            strict=True,
+        )
 
     # ------------------------------------------------------------------
     def _run_one(self) -> tuple[float, int, float]:

@@ -9,8 +9,10 @@ from .analysis import (
 from .dag import TaskDAG
 from .generation import classify_objects, generate_task_graph
 from .task import Locality, ObjectType, TaskArrays, TaskView
+from .verify import verify_dag
 
 __all__ = [
+    "verify_dag",
     "TaskDAG",
     "TaskArrays",
     "TaskView",

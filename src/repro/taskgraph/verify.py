@@ -1,0 +1,188 @@
+"""Task-graph invariant checker.
+
+:func:`verify_dag` audits a generated :class:`~repro.taskgraph.dag.TaskDAG`
+against the structural invariants that Algorithm 1 guarantees by
+construction — so a regression in the generator (or a corrupted DAG
+after checkpoint restore) is caught *before* it silently skews every
+downstream experiment:
+
+* **structure** — edge endpoints in range, no self-dependencies, every
+  edge points forward in generation order (``pred < succ``), which also
+  proves acyclicity; dependency subiterations never decrease along an
+  edge.
+* **coverage** (needs ``mesh``/``tau``/``decomp``) — every cell and
+  face of an active temporal level is processed *exactly once* per
+  (subiteration, phase) sweep: the per-phase ``num_objects`` sums must
+  equal the level-class population counts, once per sweep for the Euler
+  scheme and twice (predictor + corrector / stage-1 + stage-2 faces)
+  for Heun.
+
+The checker returns a list of human-readable violations (empty when the
+DAG is sound) and raises :class:`ValueError` under ``strict=True`` —
+the driver wires it behind a ``debug_verify_dag`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..temporal.levels import face_levels
+from ..temporal.scheme import active_levels, num_subiterations
+from .dag import TaskDAG
+from .task import ObjectType
+
+__all__ = ["verify_dag"]
+
+#: Sweeps per (subiteration, phase) for each scheme: Euler runs one
+#: face and one cell sweep; Heun runs stage-1/stage-2 faces and
+#: predictor/corrector cells.
+_SWEEPS = {"euler": 1, "heun": 2}
+
+
+def _structural_violations(dag: TaskDAG) -> list[str]:
+    out: list[str] = []
+    n = dag.num_tasks
+    edges = dag.edges
+    if len(edges) == 0:
+        return out
+    if edges.min() < 0 or edges.max() >= n:
+        out.append(
+            f"edge endpoints out of range [0, {n}): "
+            f"min={edges.min()}, max={edges.max()}"
+        )
+        return out  # the remaining vectorized checks would misindex
+    self_dep = np.flatnonzero(edges[:, 0] == edges[:, 1])
+    if len(self_dep):
+        out.append(f"{len(self_dep)} self-dependency edge(s)")
+    backward = np.flatnonzero(edges[:, 0] >= edges[:, 1])
+    if len(backward):
+        out.append(
+            f"{len(backward)} edge(s) violate generation order "
+            "(pred >= succ); DAG may be cyclic"
+        )
+        try:
+            dag.topological_order()
+        except ValueError:
+            out.append("task graph contains a cycle")
+    sub = dag.tasks.subiteration
+    decreasing = np.flatnonzero(sub[edges[:, 0]] > sub[edges[:, 1]])
+    if len(decreasing):
+        out.append(
+            f"{len(decreasing)} edge(s) have a predecessor in a later "
+            "subiteration than the successor"
+        )
+    return out
+
+
+def _coverage_violations(
+    dag: TaskDAG,
+    mesh,
+    tau: np.ndarray,
+    *,
+    scheme: str,
+    iterations: int,
+) -> list[str]:
+    out: list[str] = []
+    tau = np.asarray(tau, dtype=np.int64)
+    tau_max = int(tau.max()) if len(tau) else 0
+    nlev = tau_max + 1
+    nsub = num_subiterations(tau_max)
+    sweeps = _SWEEPS[scheme]
+
+    cell_pop = np.bincount(tau, minlength=nlev)
+    face_pop = np.bincount(
+        face_levels(mesh, tau).astype(np.int64), minlength=nlev
+    )
+
+    t = dag.tasks
+    is_cell = t.obj_type == int(ObjectType.CELL)
+    # Per (subiteration, phase, kind) object totals in one vectorized
+    # pass: dense key = ((sub * nlev) + phase) * 2 + kind.
+    key = (
+        t.subiteration.astype(np.int64) * nlev + t.phase_tau
+    ) * 2 + is_cell
+    total_sub = iterations * nsub
+    totals = np.bincount(
+        key, weights=t.num_objects.astype(np.float64),
+        minlength=total_sub * nlev * 2,
+    )
+
+    expected_sub = set(range(total_sub))
+    seen_sub = set(np.unique(t.subiteration).tolist())
+    if seen_sub - expected_sub:
+        out.append(
+            f"tasks reference unexpected subiteration(s) "
+            f"{sorted(seen_sub - expected_sub)} (expected [0, {total_sub}))"
+        )
+
+    for s in range(total_sub):
+        for lvl in active_levels(s % nsub, tau_max):
+            for kind, pop, name in (
+                (1, cell_pop[lvl], "cell"),
+                (0, face_pop[lvl], "face"),
+            ):
+                got = totals[(s * nlev + lvl) * 2 + kind]
+                want = float(pop * sweeps)
+                if got != want:
+                    out.append(
+                        f"subiteration {s} phase τ={lvl}: {name} objects "
+                        f"processed {got:g} time(s), expected {want:g} "
+                        f"({pop} object(s) × {sweeps} sweep(s))"
+                    )
+        # Inactive levels must produce no tasks at all.
+        active = set(active_levels(s % nsub, tau_max))
+        for lvl in range(nlev):
+            if lvl in active:
+                continue
+            row = totals[(s * nlev + lvl) * 2 : (s * nlev + lvl) * 2 + 2]
+            if row.any():
+                out.append(
+                    f"subiteration {s} has tasks for inactive phase τ={lvl}"
+                )
+    return out
+
+
+def verify_dag(
+    dag: TaskDAG,
+    mesh=None,
+    tau: np.ndarray | None = None,
+    *,
+    scheme: str = "euler",
+    iterations: int = 1,
+    strict: bool = False,
+) -> list[str]:
+    """Check a task DAG against the generator's invariants.
+
+    Parameters
+    ----------
+    dag:
+        The task graph to audit.
+    mesh, tau:
+        When both are given, the exactly-once coverage checks run in
+        addition to the structural ones (they need the cell/face
+        populations per temporal level).
+    scheme, iterations:
+        Must match the :func:`~repro.taskgraph.generation.generate_task_graph`
+        call that produced ``dag``.
+    strict:
+        Raise :class:`ValueError` listing the violations instead of
+        returning them.
+
+    Returns
+    -------
+    List of human-readable violations; empty when every invariant
+    holds.
+    """
+    if scheme not in _SWEEPS:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    violations = _structural_violations(dag)
+    if mesh is not None and tau is not None:
+        violations += _coverage_violations(
+            dag, mesh, tau, scheme=scheme, iterations=iterations
+        )
+    if violations and strict:
+        raise ValueError(
+            "task DAG violates generator invariants: "
+            + "; ".join(violations)
+        )
+    return violations
