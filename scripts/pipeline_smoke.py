@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI smoke test for the pipeline artifact store.
+
+Runs the same scenario twice against a throwaway disk store and
+asserts the content-addressed cache actually does its job:
+
+* the cold run computes every stage (no hits);
+* the warm run is served from the store for *every* stage;
+* the warm run is faster than the cold run.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/pipeline_smoke.py [--scenario NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.pipeline import ArtifactStore, Pipeline, get_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scenario", default="characteristics")
+    ap.add_argument(
+        "--set",
+        dest="options",
+        action="append",
+        default=["scale=6", "domains=8", "processes=4"],
+        metavar="KEY=VALUE",
+    )
+    args = ap.parse_args(argv)
+
+    options = {}
+    for item in args.options:
+        key, _, value = item.partition("=")
+        try:
+            options[key] = int(value)
+        except ValueError:
+            options[key] = value
+    scenario = get_scenario(args.scenario, **options)
+
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as root:
+        store = ArtifactStore(root)
+        pipe = Pipeline(store, n_jobs=1)
+
+        t0 = time.perf_counter()
+        cold = pipe.run(scenario)
+        cold_s = time.perf_counter() - t0
+
+        # drop the in-process objects so the warm run must exercise
+        # the disk layer end to end
+        store.clear_memory()
+
+        t0 = time.perf_counter()
+        warm = pipe.run(scenario)
+        warm_s = time.perf_counter() - t0
+
+        print(f"scenario {args.scenario} ({options})")
+        print(f"cold: {cold_s * 1e3:8.1f} ms, {cold.cache_hits}/5 hits")
+        print(cold.explain())
+        print(f"warm: {warm_s * 1e3:8.1f} ms, {warm.cache_hits}/5 hits")
+        print(warm.explain())
+
+        if cold.cache_hits != 0:
+            problems.append(
+                f"cold run hit the empty store ({cold.cache_hits} hits)"
+            )
+        for name, rec in warm.provenance.items():
+            if not rec.hit:
+                problems.append(f"warm run recomputed stage {name!r}")
+        if warm.metrics.makespan != cold.metrics.makespan:
+            problems.append(
+                "cached makespan "
+                f"{warm.metrics.makespan} != computed "
+                f"{cold.metrics.makespan}"
+            )
+        if warm_s >= cold_s:
+            problems.append(
+                f"warm run ({warm_s:.3f}s) not faster than cold "
+                f"({cold_s:.3f}s)"
+            )
+
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    if not problems:
+        print(f"OK: warm run {cold_s / warm_s:.1f}x faster, all stages cached")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

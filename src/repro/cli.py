@@ -5,8 +5,14 @@ Commands
 ``table1``
     Print the replica Table I with paper reference rows.
 ``experiment <name>``
-    Run one experiment harness (fig05, fig06, fig07, fig08, fig09,
-    fig10, fig11, fig12, fig13, dual) and print its report.
+    Run one experiment harness (the choices derive from the
+    experiment registry, :data:`repro.experiments.EXPERIMENTS`) and
+    print its report.
+``pipeline``
+    Run the typed mesh→partition→DAG→schedule pipeline on a named
+    scenario, optionally sweeping options (``--sweep
+    domains=32,64,128``) and printing per-stage cache provenance
+    (``--explain``); ``pipeline scenarios`` lists the registry.
 ``gantt``
     Simulate a case and print the composite-process Gantt chart for
     both strategies.
@@ -21,6 +27,12 @@ Commands
 ``fuzz``
     Run the seeded adversarial fuzzing harness (partition contracts,
     fast-vs-reference kernel differentials, task-DAG invariants).
+
+The global ``--artifacts DIR`` option (before the subcommand) enables
+the content-addressed on-disk artifact store for every command that
+executes the pipeline chain, so meshes/partitions/task graphs are
+computed once and reused across invocations; ``--artifacts default``
+uses ``~/.cache/repro`` (or ``$REPRO_ARTIFACTS``).
 
 User-facing failures (bad paths, invalid sizes, corrupt checkpoints)
 exit nonzero with a one-line message; pass ``--debug`` (before the
@@ -38,95 +50,127 @@ __all__ = ["main"]
 
 def _apply_jobs(args: argparse.Namespace) -> None:
     if getattr(args, "jobs", None) is not None:
-        from .experiments.common import set_default_n_jobs
+        from .pipeline import set_default_n_jobs
 
         set_default_n_jobs(args.jobs)
+
+
+def _apply_artifacts(args: argparse.Namespace) -> None:
+    """Install a disk-backed default store when ``--artifacts`` was
+    given (``default`` resolves to ``$REPRO_ARTIFACTS`` /
+    ``~/.cache/repro``)."""
+    root = getattr(args, "artifacts", None)
+    if root is None:
+        return
+    from .pipeline import ArtifactStore, default_cache_root, set_default_store
+
+    path = default_cache_root() if root == "default" else root
+    set_default_store(ArtifactStore(path))
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import table1
 
+    _apply_artifacts(args)
     print(table1.report(table1.run(scale=args.scale)))
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from . import experiments as ex
+    from .experiments.registry import run_experiment
 
     _apply_jobs(args)
-    name = args.name
-    scale = args.scale
-    if name == "fig05":
-        print(ex.fig05_validation.report(ex.fig05_validation.run(scale=scale)))
-    elif name == "fig06":
-        print(ex.fig06_unbounded.report(ex.fig06_unbounded.run(scale=scale)))
-    elif name in ("fig07", "fig10"):
-        strategy = "SC_OC" if name == "fig07" else "MC_TL"
-        print(
-            ex.fig07_10_characteristics.report(
-                ex.fig07_10_characteristics.run(strategy, scale=scale)
+    _apply_artifacts(args)
+    print(run_experiment(args.name, scale=args.scale))
+    return 0
+
+
+def _parse_option_value(key: str, raw: str):
+    """Parse one scenario option value from the command line."""
+    if raw.lower() in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .pipeline import (
+        SCENARIOS,
+        expand_sweep,
+        get_scenario,
+        run_batch,
+    )
+
+    _apply_jobs(args)
+    _apply_artifacts(args)
+
+    if args.action == "scenarios":
+        for name, sc in SCENARIOS.items():
+            print(
+                f"{name:>18s}: mesh={sc.mesh.name} "
+                f"domains={sc.partition.domains} "
+                f"processes={sc.partition.processes} "
+                f"cores={sc.schedule.cores} "
+                f"strategy={sc.partition.strategy}"
             )
-        )
-    elif name == "fig08":
-        print(
-            ex.fig08_taskgraph_shape.report(ex.fig08_taskgraph_shape.run())
-        )
-    elif name == "fig09":
-        print(ex.fig09_speedup.report(ex.fig09_speedup.run(scale=scale)))
-    elif name == "fig11":
-        print(ex.fig11_sweep.report(ex.fig11_sweep.run(scale=scale)))
-    elif name == "fig12":
-        print(ex.fig12_nozzle.report(ex.fig12_nozzle.run(scale=scale)))
-    elif name == "fig13":
-        print(ex.fig13_production.report(ex.fig13_production.run(scale=scale)))
-    elif name == "dual":
-        print(ex.dual_phase.report(ex.dual_phase.run(scale=scale)))
-    elif name == "comm":
-        print(
-            ex.comm_sensitivity.report(ex.comm_sensitivity.run(scale=scale))
-        )
-    elif name == "postprocess":
-        print(
-            ex.postprocess_study.report(ex.postprocess_study.run(scale=scale))
-        )
-    elif name == "granularity":
-        print(
-            ex.granularity_study.report(
-                ex.granularity_study.run(scale=scale)
+        return 0
+
+    overrides = {}
+    for item in args.set or []:
+        key, _, raw = item.partition("=")
+        if not _:
+            raise ValueError(f"--set expects key=value, got {item!r}")
+        overrides[key] = _parse_option_value(key, raw)
+    base = get_scenario(args.scenario, **overrides)
+
+    sweep: dict[str, list] = {}
+    for item in args.sweep or []:
+        key, _, raw = item.partition("=")
+        if not _ or not raw:
+            raise ValueError(
+                f"--sweep expects key=v1,v2,..., got {item!r}"
             )
-        )
-    elif name == "levels":
-        print(
-            ex.level_evolution.report(ex.level_evolution.run(scale=scale))
-        )
-    elif name == "runtime":
-        print(
-            ex.runtime_validation.report(
-                ex.runtime_validation.run(scale=scale)
+        sweep[key] = [
+            _parse_option_value(key, v) for v in raw.split(",")
+        ]
+
+    import dataclasses
+
+    def option_of(sc, key: str):
+        if key == "mesh":
+            return sc.mesh.name
+        if key == "seed":
+            return sc.partition.seed
+        for f in dataclasses.fields(sc):
+            cfg = getattr(sc, f.name)
+            if key in {g.name for g in dataclasses.fields(cfg)}:
+                return getattr(cfg, key)
+        return "?"
+
+    scenarios = expand_sweep(base, sweep)
+    records = run_batch(
+        scenarios, n_jobs=args.jobs, through=args.through
+    )
+    for sc, rec in zip(scenarios, records):
+        swept = " ".join(f"{k}={option_of(sc, k)}" for k in sweep)
+        head = f"scenario {args.scenario}" + (f" [{swept}]" if swept else "")
+        if rec.metrics is not None:
+            print(
+                f"{head}: makespan {rec.metrics.makespan:.1f}, "
+                f"efficiency {rec.metrics.efficiency:.3f}, "
+                f"cache hits {rec.cache_hits}/{len(rec.provenance)}"
             )
-        )
-    elif name == "octree3d":
-        print(ex.octree3d.report(ex.octree3d.run()))
-    elif name == "multi":
-        print(
-            ex.multi_iteration.report(ex.multi_iteration.run(scale=scale))
-        )
-    elif name == "scaling":
-        print(
-            ex.strong_scaling.report(ex.strong_scaling.run(scale=scale))
-        )
-    elif name == "distribution":
-        print(
-            ex.distribution_sensitivity.report(
-                ex.distribution_sensitivity.run()
+        else:
+            print(
+                f"{head}: through={args.through}, "
+                f"cache hits {rec.cache_hits}/{len(rec.provenance)}"
             )
-        )
-    elif name == "chaos":
-        kwargs = {} if scale is None else {"scale": scale}
-        print(ex.chaos_study.report(ex.chaos_study.run(**kwargs)))
-    else:
-        print(f"unknown experiment {name!r}", file=sys.stderr)
-        return 2
+        if args.explain:
+            print(rec.explain())
     return 0
 
 
@@ -135,6 +179,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     from .viz import render_process_gantt
 
     _apply_jobs(args)
+    _apply_artifacts(args)
     for strategy in ("SC_OC", "MC_TL"):
         dag, trace, metrics = run_flusim(
             args.mesh,
@@ -155,6 +200,7 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
     from .experiments.common import standard_case
     from .mesh import format_table1_row, level_statistics, save_mesh
 
+    _apply_artifacts(args)
     mesh, tau = standard_case(args.name, scale=args.scale)
     print(format_table1_row(args.name.upper(), level_statistics(mesh, tau)))
     print(mesh.summary())
@@ -178,6 +224,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_baseline,
     )
 
+    _apply_artifacts(args)
     if args.compare and not os.path.exists(args.compare):
         print(f"no baseline at {args.compare}", file=sys.stderr)
         return 2
@@ -216,6 +263,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .solver import blast_wave
     from .solver.driver import SimulationDriver
 
+    _apply_artifacts(args)
     if args.iterations < 1:
         raise ValueError(f"--iterations must be >= 1, got {args.iterations}")
     mesh, _ = standard_case(args.mesh, scale=args.scale)
@@ -329,38 +377,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="re-raise errors with the full traceback",
     )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk artifact store at DIR "
+        "('default' = $REPRO_ARTIFACTS or ~/.cache/repro)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table1", help="print replica Table I")
     p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
     p.set_defaults(func=_cmd_table1)
 
-    p = sub.add_parser("experiment", help="run one experiment harness")
-    p.add_argument(
-        "name",
-        choices=[
-            "fig05",
-            "fig06",
-            "fig07",
-            "fig08",
-            "fig09",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "dual",
-            "comm",
-            "postprocess",
-            "granularity",
-            "levels",
-            "runtime",
-            "octree3d",
-            "multi",
-            "scaling",
-            "distribution",
-            "chaos",
-        ],
+    from .experiments.registry import available
+
+    p = sub.add_parser(
+        "experiment",
+        help="run one experiment harness (choices from the registry)",
     )
+    p.add_argument("name", choices=available())
     p.add_argument("--scale", type=int, default=None, help="mesh max_depth")
     p.add_argument(
         "--jobs",
@@ -369,6 +405,56 @@ def main(argv: list[str] | None = None) -> int:
         help="partitioner worker threads (default: REPRO_N_JOBS or serial)",
     )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="run the typed mesh→partition→DAG→schedule pipeline "
+        "with content-addressed caching",
+    )
+    p.add_argument(
+        "action",
+        choices=["run", "scenarios"],
+        help="'run' a scenario (with optional sweeps) or list the "
+        "registered 'scenarios'",
+    )
+    p.add_argument(
+        "--scenario",
+        default="characteristics",
+        help="scenario registry name (see 'pipeline scenarios')",
+    )
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one scenario option (domains=64, strategy=MC_TL, "
+        "scale=7, cores=none, ...); repeatable",
+    )
+    p.add_argument(
+        "--sweep",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="sweep one option over a value list (cross product when "
+        "repeated); runs go through the batch runner",
+    )
+    p.add_argument(
+        "--through",
+        default="schedule",
+        choices=["mesh", "levels", "partition", "taskgraph", "schedule"],
+        help="stop the chain after this stage",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print per-stage digests, cache source and wall time",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel scenario workers for sweeps "
+        "(default: REPRO_N_JOBS or serial)",
+    )
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser("gantt", help="print Gantt charts for both strategies")
     p.add_argument("--mesh", default="cylinder")

@@ -63,7 +63,9 @@ from .common import (
     cached_task_graph,
     run_flusim,
     standard_case,
+    standard_scenario,
 )
+from .registry import EXPERIMENTS, available, run_experiment
 
 __all__ = [
     "table1",
@@ -89,9 +91,13 @@ __all__ = [
     "octree3d",
     "runtime_validation",
     "standard_case",
+    "standard_scenario",
     "cached_decomposition",
     "cached_task_graph",
     "run_flusim",
     "NUM_LEVELS",
     "PAPER_CONFIGS",
+    "EXPERIMENTS",
+    "available",
+    "run_experiment",
 ]

@@ -1,21 +1,30 @@
 """Shared infrastructure for the experiment harnesses.
 
-Provides the *standard cases* — replica mesh + temporal levels matching
-the paper's Table I — and memoization of meshes and partitions so that
-the benchmark suite does not regenerate/re-partition the same inputs.
+Historically this module owned its own memoization (a scatter of
+unbounded ``functools.lru_cache`` maps) and the ``PAPER_CONFIGS``
+dict.  Both now live in :mod:`repro.pipeline`: the chain is executed
+by the typed pipeline runner against the process-wide artifact store
+(bounded in-memory LRU, optional content-addressed disk layer), and
+the paper configurations are the scenario registry.  The helpers here
+are kept as thin wrappers so the experiment modules and external
+callers keep their historical API.
 """
 
 from __future__ import annotations
 
-import os
-from functools import lru_cache
-
 import numpy as np
 
-from ..flusim import ClusterConfig, schedule_metrics, simulate
 from ..mesh import MESH_FACTORIES, Mesh
-from ..partitioning import DomainDecomposition, make_decomposition
-from ..taskgraph import generate_task_graph
+from ..partitioning import DomainDecomposition
+from ..pipeline import (
+    NUM_LEVELS,
+    Pipeline,
+    RunRecord,
+    Scenario,
+    paper_configs,
+    resolve_n_jobs,
+)
+from ..pipeline import set_default_n_jobs as _set_default_n_jobs
 
 __all__ = [
     "NUM_LEVELS",
@@ -23,112 +32,70 @@ __all__ = [
     "default_n_jobs",
     "set_default_n_jobs",
     "standard_case",
+    "standard_scenario",
     "cached_decomposition",
     "cached_task_graph",
     "run_flusim",
 ]
 
-#: Process-wide default for the partitioner's ``n_jobs`` knob;
-#: ``None`` falls back to the ``REPRO_N_JOBS`` environment variable.
-_default_n_jobs: int | None = None
+#: Legacy view of the scenario registry
+#: (:data:`repro.pipeline.SCENARIOS`).
+PAPER_CONFIGS = paper_configs()
 
 
 def set_default_n_jobs(n: int | None) -> None:
     """Set the partitioner worker count used by the experiment
     harnesses (``None`` reverts to ``REPRO_N_JOBS`` / serial)."""
-    global _default_n_jobs
-    _default_n_jobs = n
+    _set_default_n_jobs(n)
 
 
 def default_n_jobs() -> int:
-    """Partitioner worker count for experiment runs.
-
-    Resolution order: :func:`set_default_n_jobs` (e.g. the CLI's
-    ``--jobs``), then the ``REPRO_N_JOBS`` environment variable, then
-    serial.
-    """
-    if _default_n_jobs is not None:
-        return max(1, _default_n_jobs)
-    env = os.environ.get("REPRO_N_JOBS", "")
-    try:
-        return max(1, int(env)) if env.strip() else 1
-    except ValueError:
-        import warnings
-
-        warnings.warn(
-            f"invalid REPRO_N_JOBS value {env!r} (expected an integer); "
-            "falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return 1
-
-#: Temporal level count per mesh (Table I).
-NUM_LEVELS = {"cylinder": 4, "cube": 4, "pprime_nozzle": 3}
-
-#: The cluster/domain configurations used in the paper's experiments.
-PAPER_CONFIGS = {
-    # Fig 5/12/13: nozzle on 6 processes of 4 cores, 12 domains.
-    "nozzle_validation": dict(
-        mesh="pprime_nozzle", domains=12, processes=6, cores=4
-    ),
-    # Fig 6: 64 domains on 64 processes, unbounded cores.
-    "unbounded": dict(mesh="cylinder", domains=64, processes=64, cores=None),
-    # Fig 7/10: 16 processes of 32 cores, 16 domains.
-    "characteristics": dict(
-        mesh="cylinder", domains=16, processes=16, cores=32
-    ),
-    # Fig 9: 128 domains on 16 processes of 32 cores.
-    "speedup": dict(domains=128, processes=16, cores=32),
-}
+    """Partitioner worker count for experiment runs (resolved once by
+    :func:`repro.pipeline.resolve_n_jobs`)."""
+    return resolve_n_jobs()
 
 
-@lru_cache(maxsize=8)
-def _mesh(name: str, scale: int | None) -> Mesh:
-    factory = MESH_FACTORIES[name]
-    return factory() if scale is None else factory(max_depth=scale)
+def standard_scenario(
+    name: str,
+    domains: int = 1,
+    processes: int = 1,
+    cores: int | None = 1,
+    strategy: str = "SC_OC",
+    *,
+    scale: int | None = None,
+    seed: int = 0,
+    scheduler: str = "eager",
+    scheme: str = "euler",
+    n_jobs: int | None = None,
+) -> Scenario:
+    """A pipeline :class:`~repro.pipeline.Scenario` on a named replica
+    mesh with the Table I level caps and the resolved worker count."""
+    if name not in MESH_FACTORIES:
+        raise ValueError(f"unknown mesh {name!r}")
+    return Scenario.standard(
+        name,
+        domains,
+        processes,
+        cores,
+        strategy,
+        scale=scale,
+        seed=seed,
+        scheduler=scheduler,
+        scheme=scheme,
+        n_jobs=resolve_n_jobs(n_jobs),
+    )
 
 
-@lru_cache(maxsize=8)
-def _case(name: str, scale: int | None) -> tuple[Mesh, np.ndarray]:
-    from ..temporal import levels_from_depth
-
-    mesh = _mesh(name, scale)
-    tau = levels_from_depth(mesh, num_levels=NUM_LEVELS.get(name))
-    return mesh, tau
-
-
-def standard_case(name: str, *, scale: int | None = None):
+def standard_case(
+    name: str, *, scale: int | None = None
+) -> tuple[Mesh, np.ndarray]:
     """Return ``(mesh, tau)`` for a named replica mesh.
 
     ``scale`` overrides the generator's default ``max_depth`` (smaller
-    = fewer cells = faster experiments).  Results are memoized.
+    = fewer cells = faster experiments).  Served from the artifact
+    store, so repeated calls return the same objects.
     """
-    if name not in MESH_FACTORIES:
-        raise ValueError(f"unknown mesh {name!r}")
-    return _case(name, scale)
-
-
-@lru_cache(maxsize=64)
-def _decomp_cached(
-    name: str,
-    scale: int | None,
-    domains: int,
-    processes: int,
-    strategy: str,
-    seed: int,
-    n_jobs: int,
-) -> DomainDecomposition:
-    mesh, tau = standard_case(name, scale=scale)
-    return make_decomposition(
-        mesh,
-        tau,
-        domains,
-        processes,
-        strategy=strategy,
-        seed=seed,
-        n_jobs=n_jobs,
-    )
+    return Pipeline().case(standard_scenario(name, scale=scale))
 
 
 def cached_decomposition(
@@ -141,36 +108,18 @@ def cached_decomposition(
     seed: int = 0,
     n_jobs: int | None = None,
 ) -> DomainDecomposition:
-    """Memoized :func:`repro.partitioning.make_decomposition` on a
-    standard case (``n_jobs=None`` uses :func:`default_n_jobs`)."""
-    if n_jobs is None:
-        n_jobs = default_n_jobs()
-    return _decomp_cached(
-        name, scale, domains, processes, strategy, seed, n_jobs
-    )
-
-
-@lru_cache(maxsize=64)
-def _task_graph_cached(
-    name: str,
-    domains: int,
-    processes: int,
-    strategy: str,
-    scale: int | None,
-    seed: int,
-    n_jobs: int,
-):
-    mesh, tau = standard_case(name, scale=scale)
-    decomp = cached_decomposition(
+    """Store-backed :func:`repro.partitioning.make_decomposition` on a
+    standard case (``n_jobs=None`` uses the resolved default)."""
+    sc = standard_scenario(
         name,
         domains,
         processes,
-        strategy,
+        strategy=strategy,
         scale=scale,
         seed=seed,
         n_jobs=n_jobs,
     )
-    return generate_task_graph(mesh, tau, decomp)
+    return Pipeline().run(sc, through="partition").decomp
 
 
 def cached_task_graph(
@@ -182,12 +131,17 @@ def cached_task_graph(
     seed: int = 0,
     n_jobs: int | None = None,
 ):
-    """Memoized task graph for a standard case + decomposition."""
-    if n_jobs is None:
-        n_jobs = default_n_jobs()
-    return _task_graph_cached(
-        name, domains, processes, strategy, scale, seed, n_jobs
+    """Store-backed task graph for a standard case + decomposition."""
+    sc = standard_scenario(
+        name,
+        domains,
+        processes,
+        strategy=strategy,
+        scale=scale,
+        seed=seed,
+        n_jobs=n_jobs,
     )
+    return Pipeline().run(sc, through="taskgraph").dag
 
 
 def run_flusim(
@@ -200,12 +154,21 @@ def run_flusim(
     scale: int | None = None,
     seed: int = 0,
     scheduler: str = "eager",
-):
-    """One FLUSIM run on a standard case; returns
-    ``(dag, trace, metrics)``."""
-    dag = cached_task_graph(
-        name, domains, processes, strategy, scale=scale, seed=seed
+) -> RunRecord:
+    """One FLUSIM run on a standard case.
+
+    Returns a typed :class:`~repro.pipeline.RunRecord` (with per-stage
+    cache provenance in ``record.provenance``); iterating it yields
+    the legacy ``(dag, trace, metrics)`` triple.
+    """
+    sc = standard_scenario(
+        name,
+        domains,
+        processes,
+        cores,
+        strategy,
+        scale=scale,
+        seed=seed,
+        scheduler=scheduler,
     )
-    cluster = ClusterConfig(processes, cores)
-    trace = simulate(dag, cluster, scheduler=scheduler, seed=seed)
-    return dag, trace, schedule_metrics(dag, trace)
+    return Pipeline().run(sc)

@@ -22,9 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..flusim import ClusterConfig, simulate
+from ..pipeline import Pipeline
 from ..solver import LTSState, TaskDistributedSolver, blast_wave
 from ..solver.timestep import stable_timesteps
-from .common import cached_decomposition, standard_case
+from .common import standard_scenario
 
 __all__ = ["Fig5Result", "run", "report"]
 
@@ -54,13 +55,23 @@ def run(
 ) -> Fig5Result:
     """Run the Fig. 5 validation experiment (second-order Heun
     kernels by default, like FLUSEPA)."""
-    mesh, tau_depth = standard_case(mesh_name, scale=scale)
-    decomp = cached_decomposition(
-        mesh_name, domains, processes, "SC_OC", scale=scale, seed=seed
+    # One typed pipeline run up to the task graph: mesh, levels and
+    # the SC_OC decomposition are all served from the artifact store
+    # when previously computed.
+    rec = Pipeline().run(
+        standard_scenario(
+            mesh_name,
+            domains,
+            processes,
+            cores,
+            "SC_OC",
+            scale=scale,
+            seed=seed,
+            scheme=scheme,
+        ),
+        through="taskgraph",
     )
-    from ..taskgraph import generate_task_graph
-
-    dag = generate_task_graph(mesh, tau_depth, decomp, scheme=scheme)
+    mesh, tau_depth, decomp, dag = rec.mesh, rec.tau, rec.decomp, rec.dag
     cluster = ClusterConfig(processes, cores)
 
     # --- FLUSIM prediction from the abstract cost model ---------------

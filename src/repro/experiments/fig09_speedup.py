@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..pipeline import RunRecord
 from .common import run_flusim
 
 __all__ = ["Fig9Result", "run", "report"]
@@ -26,6 +27,9 @@ class Fig9Result:
     efficiency_sc_oc: dict[str, float]
     efficiency_mc_tl: dict[str, float]
     total_work: dict[str, float]
+    # Per-(mesh, strategy) pipeline runs, with per-stage cache
+    # provenance (``records[name, strategy].provenance``).
+    records: dict[tuple[str, str], RunRecord] | None = None
 
 
 def run(
@@ -39,21 +43,25 @@ def run(
 ) -> Fig9Result:
     """Run the SC_OC vs MC_TL comparison on both meshes."""
     ms_sc, ms_mc, sp, eff_sc, eff_mc, tw = {}, {}, {}, {}, {}, {}
+    records: dict[tuple[str, str], RunRecord] = {}
     for name in meshes:
-        dag_sc, _, m_sc = run_flusim(
+        rec_sc = run_flusim(
             name, domains, processes, cores, "SC_OC", scale=scale, seed=seed
         )
-        dag_mc, _, m_mc = run_flusim(
+        rec_mc = run_flusim(
             name, domains, processes, cores, "MC_TL", scale=scale, seed=seed
         )
+        records[(name, "SC_OC")] = rec_sc
+        records[(name, "MC_TL")] = rec_mc
+        m_sc, m_mc = rec_sc.metrics, rec_mc.metrics
         ms_sc[name] = m_sc.makespan
         ms_mc[name] = m_mc.makespan
         sp[name] = m_sc.makespan / m_mc.makespan
         eff_sc[name] = m_sc.efficiency
         eff_mc[name] = m_mc.efficiency
-        tw[name] = dag_sc.total_work()
+        tw[name] = rec_sc.dag.total_work()
         # Invariant: the total work must not depend on the strategy.
-        assert abs(dag_sc.total_work() - dag_mc.total_work()) < 1e-9
+        assert abs(rec_sc.dag.total_work() - rec_mc.dag.total_work()) < 1e-9
     return Fig9Result(
         meshes=list(meshes),
         makespan_sc_oc=ms_sc,
@@ -62,6 +70,7 @@ def run(
         efficiency_sc_oc=eff_sc,
         efficiency_mc_tl=eff_mc,
         total_work=tw,
+        records=records,
     )
 
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..flusim import taskgraph_comm_volume
-from .common import cached_task_graph, run_flusim
+from .common import run_flusim
 
 __all__ = ["Fig11Result", "run", "report"]
 
@@ -49,21 +49,15 @@ def run(
     for name in meshes:
         rr, cs, cm = [], [], []
         for nd in domain_counts:
-            _, _, m_sc = run_flusim(
+            rec_sc = run_flusim(
                 name, nd, processes, cores, "SC_OC", scale=scale, seed=seed
             )
-            _, _, m_mc = run_flusim(
+            rec_mc = run_flusim(
                 name, nd, processes, cores, "MC_TL", scale=scale, seed=seed
             )
-            rr.append(m_sc.makespan / m_mc.makespan)
-            dag_sc = cached_task_graph(
-                name, nd, processes, "SC_OC", scale=scale, seed=seed
-            )
-            dag_mc = cached_task_graph(
-                name, nd, processes, "MC_TL", scale=scale, seed=seed
-            )
-            cs.append(taskgraph_comm_volume(dag_sc))
-            cm.append(taskgraph_comm_volume(dag_mc))
+            rr.append(rec_sc.metrics.makespan / rec_mc.metrics.makespan)
+            cs.append(taskgraph_comm_volume(rec_sc.dag))
+            cm.append(taskgraph_comm_volume(rec_mc.dag))
         ratio[name] = np.array(rr)
         c_sc[name] = np.array(cs, dtype=np.int64)
         c_mc[name] = np.array(cm, dtype=np.int64)

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from ..flusim import ClusterConfig
 from ..partitioning import GranularitySearchResult, tune_granularity
-from .common import standard_case
+from ..pipeline import Pipeline
+from .common import standard_scenario
 
 __all__ = ["GranularityStudyResult", "run", "report"]
 
@@ -43,7 +44,7 @@ def run(
     seed: int = 0,
 ) -> GranularityStudyResult:
     """Run the tuner for both strategies under three regimes."""
-    mesh, tau = standard_case(mesh_name, scale=scale)
+    mesh, tau = Pipeline().case(standard_scenario(mesh_name, scale=scale))
     cluster = ClusterConfig(processes, cores)
     regimes = {
         "free": dict(task_overhead=0.0, comm_cost=0.0),

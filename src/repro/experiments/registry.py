@@ -1,0 +1,85 @@
+"""Experiment registry — the single source of truth for which
+experiment harnesses exist.
+
+The ``repro experiment`` CLI derives its ``choices`` from this map,
+so a new experiment module registered here is immediately runnable
+from the command line and can't silently drift out of the CLI list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable
+
+__all__ = ["Experiment", "EXPERIMENTS", "available", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable harness: a module with ``run()``/``report()``.
+
+    ``run_kwargs`` are fixed arguments (e.g. the strategy for the
+    fig07/fig10 pair); ``takes_scale`` says whether ``run`` accepts
+    the CLI's ``--scale`` mesh-depth override.
+    """
+
+    module: str
+    run_kwargs: tuple[tuple[str, Any], ...] = ()
+    takes_scale: bool = True
+
+    def run_report(self, scale: int | None = None) -> str:
+        """Execute the harness and render its report."""
+        mod = import_module(f"repro.experiments.{self.module}")
+        kwargs = dict(self.run_kwargs)
+        if self.takes_scale and scale is not None:
+            kwargs["scale"] = scale
+        return mod.report(mod.run(**kwargs))
+
+
+#: CLI name → experiment (sorted rendering is up to the caller).
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig05": Experiment("fig05_validation"),
+    "fig06": Experiment("fig06_unbounded"),
+    "fig07": Experiment(
+        "fig07_10_characteristics", (("strategy", "SC_OC"),)
+    ),
+    "fig08": Experiment("fig08_taskgraph_shape", takes_scale=False),
+    "fig09": Experiment("fig09_speedup"),
+    "fig10": Experiment(
+        "fig07_10_characteristics", (("strategy", "MC_TL"),)
+    ),
+    "fig11": Experiment("fig11_sweep"),
+    "fig12": Experiment("fig12_nozzle"),
+    "fig13": Experiment("fig13_production"),
+    "dual": Experiment("dual_phase"),
+    "comm": Experiment("comm_sensitivity"),
+    "postprocess": Experiment("postprocess_study"),
+    "granularity": Experiment("granularity_study"),
+    "levels": Experiment("level_evolution"),
+    "runtime": Experiment("runtime_validation"),
+    "octree3d": Experiment("octree3d", takes_scale=False),
+    "multi": Experiment("multi_iteration"),
+    "scaling": Experiment("strong_scaling"),
+    "distribution": Experiment(
+        "distribution_sensitivity", takes_scale=False
+    ),
+    "chaos": Experiment("chaos_study"),
+}
+
+
+def available() -> list[str]:
+    """Registered experiment names, CLI order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str, *, scale: int | None = None) -> str:
+    """Run a registered experiment and return its report text."""
+    try:
+        exp = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(available())}"
+        ) from None
+    return exp.run_report(scale)

@@ -12,7 +12,8 @@ import numpy as np
 
 from ..mesh import format_table1_row, level_statistics
 from ..mesh.generators import PAPER_CELL_COUNTS, PAPER_CELL_FRACTIONS
-from .common import standard_case
+from ..pipeline import Pipeline
+from .common import standard_scenario
 
 __all__ = ["Table1Result", "run", "report"]
 
@@ -41,8 +42,9 @@ def run(*, scale: int | None = None) -> Table1Result:
     """Compute Table I for the replica meshes."""
     names = ["cylinder", "cube", "pprime_nozzle"]
     counts, cf, wf = {}, {}, {}
+    pipe = Pipeline()
     for name in names:
-        mesh, tau = standard_case(name, scale=scale)
+        mesh, tau = pipe.case(standard_scenario(name, scale=scale))
         st = level_statistics(mesh, tau)
         counts[name] = st.counts
         cf[name] = st.cell_fraction
@@ -61,8 +63,9 @@ def run(*, scale: int | None = None) -> Table1Result:
 def report(result: Table1Result) -> str:
     """Render the replica Table I with paper reference rows."""
     blocks = []
+    pipe = Pipeline()
     for name in result.names:
-        mesh, tau = standard_case(name)
+        mesh, tau = pipe.case(standard_scenario(name))
         st = level_statistics(mesh, tau)
         block = [format_table1_row(name.upper(), st)]
         block.append(

@@ -39,8 +39,8 @@ from ..graph.metrics import edge_cut, imbalance
 from ..graph.partition import partition_graph
 from ..graph.reference import fm_refine_ref, heavy_edge_matching_ref
 from ..graph.refine import fm_refine
+from ..pipeline import TaskGraphConfig, TaskGraphStage
 from ..resilience.errors import PartitionError, PartitionQualityError
-from ..taskgraph.generation import generate_task_graph
 from ..taskgraph.verify import verify_dag
 from .generators import GraphCase, MeshCase, make_graph_case, make_mesh_case
 
@@ -300,8 +300,13 @@ def _fuzz_mesh_case(report: FuzzReport, seed: int, case: MeshCase) -> None:
                 continue
             for scheme in ("euler", "heun"):
                 report.dag_checks += 1
-                dag = generate_task_graph(
-                    case.mesh, case.tau, decomp, scheme=scheme
+                # Same typed chain link the pipeline runs (fuzz meshes
+                # are one-shot, so no artifact store is involved).
+                dag = TaskGraphStage.compute(
+                    TaskGraphConfig(scheme=scheme),
+                    case.mesh,
+                    case.tau,
+                    decomp,
                 )
                 bad = verify_dag(
                     dag, case.mesh, case.tau, scheme=scheme

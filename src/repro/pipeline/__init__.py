@@ -1,0 +1,89 @@
+"""The typed mesh→levels→partition→taskgraph→schedule pipeline.
+
+One explicit, cached, resumable definition of the paper's workflow
+chain, shared by the experiment harnesses, the CLI, the perf bench
+and the campaign driver:
+
+* typed per-stage configs and :class:`Scenario` bundles
+  (:mod:`repro.pipeline.config`);
+* deterministic content addressing (:mod:`repro.pipeline.hashing`);
+* a content-addressed ``.npz`` + JSON-sidecar artifact store with a
+  bounded in-memory LRU (:mod:`repro.pipeline.store`);
+* the five stage definitions (:mod:`repro.pipeline.stages`);
+* the runner, :class:`RunRecord` provenance and the sweep/batch
+  machinery (:mod:`repro.pipeline.runner`);
+* the scenario registry (:mod:`repro.pipeline.registry`).
+"""
+
+from .config import (
+    NUM_LEVELS,
+    LevelConfig,
+    MeshConfig,
+    PartitionConfig,
+    Scenario,
+    ScheduleConfig,
+    TaskGraphConfig,
+)
+from .hashing import canonical_json, config_digest, stage_digest
+from .jobs import resolve_n_jobs, set_default_n_jobs
+from .registry import SCENARIOS, get_scenario, paper_configs
+from .runner import (
+    Pipeline,
+    RunRecord,
+    StageRecord,
+    expand_sweep,
+    run_batch,
+)
+from .stages import (
+    MESH_BUILDERS,
+    STAGE_ORDER,
+    STAGES,
+    LevelStage,
+    MeshStage,
+    PartitionStage,
+    ScheduleStage,
+    TaskGraphStage,
+)
+from .store import (
+    ArtifactStore,
+    StoreStats,
+    default_cache_root,
+    default_store,
+    set_default_store,
+)
+
+__all__ = [
+    "NUM_LEVELS",
+    "MeshConfig",
+    "LevelConfig",
+    "PartitionConfig",
+    "TaskGraphConfig",
+    "ScheduleConfig",
+    "Scenario",
+    "canonical_json",
+    "config_digest",
+    "stage_digest",
+    "resolve_n_jobs",
+    "set_default_n_jobs",
+    "SCENARIOS",
+    "get_scenario",
+    "paper_configs",
+    "Pipeline",
+    "RunRecord",
+    "StageRecord",
+    "expand_sweep",
+    "run_batch",
+    "MESH_BUILDERS",
+    "STAGES",
+    "STAGE_ORDER",
+    "MeshStage",
+    "LevelStage",
+    "PartitionStage",
+    "TaskGraphStage",
+    "ScheduleStage",
+    "ArtifactStore",
+    "StoreStats",
+    "default_store",
+    "set_default_store",
+    "default_cache_root",
+]

@@ -1,0 +1,57 @@
+"""Single resolution point for the partitioner worker count.
+
+Historically ``REPRO_N_JOBS`` was consulted independently by the
+experiment harness, the CLI and the graph partitioner; this module is
+now the one place the knob is resolved.  The resolved integer is then
+*threaded* through the pipeline into the strategies, so downstream
+layers never re-read the environment.
+
+Resolution order: an explicit value (e.g. the CLI's ``--jobs``), then
+the process-wide default installed with :func:`set_default_n_jobs`,
+then the ``REPRO_N_JOBS`` environment variable, then serial.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["resolve_n_jobs", "set_default_n_jobs"]
+
+#: Process-wide default installed by the CLI; ``None`` falls through
+#: to the ``REPRO_N_JOBS`` environment variable.
+_default_n_jobs: int | None = None
+
+
+def set_default_n_jobs(n: int | None) -> None:
+    """Install a process-wide worker-count default (``None`` reverts
+    to ``REPRO_N_JOBS`` / serial)."""
+    global _default_n_jobs
+    _default_n_jobs = n
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Resolve the effective partitioner worker count (>= 1).
+
+    ``-1`` means one worker per CPU; an unparsable ``REPRO_N_JOBS``
+    warns and falls back to serial rather than killing a campaign.
+    """
+    if n_jobs is None:
+        n_jobs = _default_n_jobs
+    if n_jobs is None:
+        env = os.environ.get("REPRO_N_JOBS", "")
+        if not env.strip():
+            return 1
+        try:
+            n_jobs = int(env)
+        except ValueError:
+            warnings.warn(
+                f"invalid REPRO_N_JOBS value {env!r} (expected an "
+                "integer); falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    if n_jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, n_jobs)

@@ -1,0 +1,283 @@
+"""Content-addressed artifact store for pipeline stage outputs.
+
+Layout (one directory per stage under the root)::
+
+    <root>/mesh/<digest>.npz        arrays
+    <root>/mesh/<digest>.json       sidecar: config, provenance
+    <root>/partition/<digest>.npz
+    ...
+
+The digest is the stage's content address
+(:func:`repro.pipeline.hashing.stage_digest`): stage name + stage
+version + package version + canonical config + upstream digests.  Any
+prefix of the chain computed once is therefore reused across
+experiments, CLI invocations, benches and campaign restarts.
+
+Writes are crash-safe with the same idiom as
+:mod:`repro.resilience.checkpoint`: both files go to ``*.tmp`` first
+and are ``os.replace``-d into place, arrays before sidecar, so a
+sidecar is only ever visible once its arrays are complete.
+
+Reads are *self-healing*: a truncated ``.npz``, an unparsable sidecar,
+or a sidecar whose recorded digest/arrays manifest disagrees with the
+files on disk is treated as a miss (with a :class:`RuntimeWarning`) —
+the stage recomputes and overwrites the corrupt entry.
+
+On top of the disk layer sits a small **bounded** in-process LRU of
+deserialized objects (``memory_items`` entries, default 64) — the
+replacement for the unbounded ``functools.lru_cache`` maps the
+experiment harness used to grow during long sweeps.  A store with
+``root=None`` is memory-only, which is the default for in-process use
+(tests, library callers); the CLI and the batch runner enable the disk
+layer via ``--artifacts`` / ``REPRO_ARTIFACTS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "default_store",
+    "set_default_store",
+    "default_cache_root",
+]
+
+SIDECAR_VERSION = 1
+
+#: Default on-disk root when the disk layer is enabled without an
+#: explicit directory.
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_root() -> Path:
+    """The default on-disk root (``$REPRO_ARTIFACTS`` or
+    ``~/.cache/repro``)."""
+    env = os.environ.get("REPRO_ARTIFACTS", "").strip()
+    return Path(env if env else DEFAULT_CACHE_DIR).expanduser()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters (also surfaced per stage in provenance)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class _DiskPayload:
+    """What the disk layer hands back on a hit."""
+
+    arrays: dict[str, np.ndarray]
+    sidecar: dict[str, Any]
+
+
+class ArtifactStore:
+    """Two-level (memory LRU over optional disk) artifact cache.
+
+    Parameters
+    ----------
+    root:
+        Directory of the disk layer; ``None`` disables it (memory-only
+        store).
+    memory_items:
+        Bound of the in-process object LRU (>= 0; 0 disables it).
+        The default (64) comfortably covers the paper's sweeps while
+        keeping long campaigns from holding every mesh alive.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        memory_items: int = 64,
+    ) -> None:
+        self.root = Path(root).expanduser() if root is not None else None
+        if memory_items < 0:
+            raise ValueError("memory_items must be >= 0")
+        self.memory_items = memory_items
+        self.stats = StoreStats()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- memory layer --------------------------------------------------
+    def memory_get(self, digest: str) -> Any | None:
+        """The cached object for ``digest`` (moves it to MRU)."""
+        with self._lock:
+            try:
+                obj = self._memory.pop(digest)
+            except KeyError:
+                return None
+            self._memory[digest] = obj
+            return obj
+
+    def memory_put(self, digest: str, obj: Any) -> None:
+        """Insert/refresh an object, evicting LRU entries past the
+        bound."""
+        if self.memory_items == 0:
+            return
+        with self._lock:
+            self._memory.pop(digest, None)
+            self._memory[digest] = obj
+            while len(self._memory) > self.memory_items:
+                self._memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process object cache (the disk layer stays)."""
+        with self._lock:
+            self._memory.clear()
+
+    # -- disk layer ----------------------------------------------------
+    @property
+    def disk_enabled(self) -> bool:
+        return self.root is not None
+
+    def _paths(self, stage: str, digest: str) -> tuple[Path, Path]:
+        base = self.root / stage / digest  # type: ignore[operator]
+        return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def disk_read(self, stage: str, digest: str) -> _DiskPayload | None:
+        """Load an artifact from disk; ``None`` on miss *or* on any
+        corruption (which is warned about and then treated as a miss,
+        so the caller recomputes and overwrites)."""
+        if self.root is None:
+            return None
+        npz_path, json_path = self._paths(stage, digest)
+        if not json_path.exists():
+            return None
+        try:
+            sidecar = json.loads(json_path.read_text(encoding="utf-8"))
+            if not isinstance(sidecar, dict):
+                raise ValueError("sidecar is not a JSON object")
+            if sidecar.get("digest") != digest:
+                raise ValueError(
+                    f"sidecar records digest {sidecar.get('digest')!r}"
+                )
+            if sidecar.get("stage") != stage:
+                raise ValueError(
+                    f"sidecar records stage {sidecar.get('stage')!r}"
+                )
+            expected = sidecar.get("arrays")
+            if not isinstance(expected, list):
+                raise ValueError("sidecar has no arrays manifest")
+            with np.load(npz_path, allow_pickle=False) as data:
+                missing = [k for k in expected if k not in data]
+                if missing:
+                    raise ValueError(f"arrays missing {missing}")
+                arrays = {k: data[k].copy() for k in expected}
+        except Exception as exc:  # BadZipFile, OSError, ValueError, ...
+            self.stats.corrupt += 1
+            warnings.warn(
+                f"corrupt artifact {stage}/{digest[:12]} "
+                f"({type(exc).__name__}: {exc}); recomputing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return _DiskPayload(arrays=arrays, sidecar=sidecar)
+
+    def disk_write(
+        self,
+        stage: str,
+        digest: str,
+        arrays: dict[str, np.ndarray],
+        sidecar: dict[str, Any],
+    ) -> Path | None:
+        """Atomically persist an artifact; returns the sidecar path
+        (``None`` when the disk layer is disabled).
+
+        A failed write is not worth killing the producing run for —
+        it warns and the result simply stays uncached.
+        """
+        if self.root is None:
+            return None
+        npz_path, json_path = self._paths(stage, digest)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(sidecar)
+        record.setdefault("sidecar_version", SIDECAR_VERSION)
+        record["stage"] = stage
+        record["digest"] = digest
+        record["arrays"] = sorted(arrays)
+        tmp_npz = npz_path.with_name(npz_path.name + ".tmp")
+        tmp_json = json_path.with_name(json_path.name + ".tmp")
+        try:
+            with open(tmp_npz, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            os.replace(tmp_npz, npz_path)
+            with open(tmp_json, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=1, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_json, json_path)
+        except OSError as exc:
+            for tmp in (tmp_npz, tmp_json):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            warnings.warn(
+                f"failed to persist artifact {stage}/{digest[:12]}: "
+                f"{exc}; continuing uncached",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return json_path
+
+    def sidecar(self, stage: str, digest: str) -> dict[str, Any] | None:
+        """The provenance sidecar of a stored artifact, if readable."""
+        if self.root is None:
+            return None
+        _, json_path = self._paths(stage, digest)
+        try:
+            data = json.loads(json_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+
+# ---------------------------------------------------------------------
+#: Process-wide store shared by the experiment wrappers and the CLI.
+_default_store: ArtifactStore | None = None
+_default_lock = threading.Lock()
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store.
+
+    Memory-only by default; the disk layer switches on when
+    ``REPRO_ARTIFACTS`` names a directory (the CLI's ``--artifacts``
+    installs a disk-backed store explicitly via
+    :func:`set_default_store`).
+    """
+    global _default_store
+    with _default_lock:
+        if _default_store is None:
+            env = os.environ.get("REPRO_ARTIFACTS", "").strip()
+            _default_store = ArtifactStore(root=env or None)
+        return _default_store
+
+
+def set_default_store(store: ArtifactStore | None) -> None:
+    """Install (or with ``None`` reset) the process-wide store."""
+    global _default_store
+    with _default_lock:
+        _default_store = store

@@ -1,0 +1,218 @@
+"""Artifact-store tests: content addresses, hit/miss, self-healing.
+
+Covers the PR's cache satellite: digest stability across processes,
+memory/disk hit behaviour, corruption detection (truncated ``.npz``,
+mismatched sidecar) with recompute-and-overwrite, and bit-for-bit
+round-tripping of a cached MC_TL partition.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    ArtifactStore,
+    MeshConfig,
+    PartitionConfig,
+    Pipeline,
+    Scenario,
+    canonical_json,
+    stage_digest,
+)
+
+SCENARIO = Scenario.standard(
+    "cube", domains=4, processes=2, cores=2, strategy="MC_TL", scale=6
+)
+
+
+@pytest.fixture
+def disk_store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestDigests:
+    def test_stable_across_processes(self):
+        cfg = PartitionConfig(domains=8, processes=4, strategy="MC_TL")
+        here = stage_digest("partition", 1, cfg, ("aaa", "bbb"))
+        code = (
+            "from repro.pipeline import PartitionConfig, stage_digest;"
+            "print(stage_digest('partition', 1,"
+            " PartitionConfig(domains=8, processes=4, strategy='MC_TL'),"
+            " ('aaa', 'bbb')))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=str(Path(__file__).resolve().parent.parent),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert out.stdout.strip() == here
+
+    def test_config_changes_digest(self):
+        base = PartitionConfig(domains=8, processes=4)
+        d0 = stage_digest("partition", 1, base, ())
+        for other in (
+            PartitionConfig(domains=16, processes=4),
+            PartitionConfig(domains=8, processes=4, seed=1),
+            PartitionConfig(domains=8, processes=4, strategy="MC_TL"),
+            PartitionConfig(domains=8, processes=4, n_jobs=2),
+        ):
+            assert stage_digest("partition", 1, other, ()) != d0
+
+    def test_upstream_and_version_change_digest(self):
+        cfg = MeshConfig(name="cube")
+        d0 = stage_digest("mesh", 1, cfg, ())
+        assert stage_digest("mesh", 2, cfg, ()) != d0
+        assert stage_digest("mesh", 1, cfg, ("upstream",)) != d0
+
+    def test_canonical_json_is_key_sorted(self):
+        s = canonical_json(PartitionConfig(domains=2, processes=1))
+        assert json.loads(s) == {
+            "domains": 2,
+            "processes": 1,
+            "strategy": "SC_OC",
+            "seed": 0,
+            "imbalance_tol": 1.05,
+            "n_jobs": 1,
+        }
+        assert list(json.loads(s)) == sorted(json.loads(s))
+
+
+class TestHitMiss:
+    def test_cold_then_memory_then_disk(self, disk_store):
+        pipe = Pipeline(disk_store)
+        rec1 = pipe.run(SCENARIO)
+        assert rec1.cache_hits == 0
+        assert set(rec1.provenance) == {
+            "mesh", "levels", "partition", "taskgraph", "schedule",
+        }
+
+        rec2 = pipe.run(SCENARIO)
+        assert rec2.all_cached
+        assert all(r.cache == "memory" for r in rec2.provenance.values())
+
+        disk_store.clear_memory()
+        rec3 = pipe.run(SCENARIO)
+        assert rec3.all_cached
+        assert all(r.cache == "disk" for r in rec3.provenance.values())
+
+    def test_config_change_misses_downstream_only(self, disk_store):
+        pipe = Pipeline(disk_store)
+        pipe.run(SCENARIO)
+        other = SCENARIO.with_options(strategy="SC_OC")
+        rec = pipe.run(other)
+        prov = rec.provenance
+        assert prov["mesh"].hit and prov["levels"].hit
+        assert not prov["partition"].hit
+        assert not prov["taskgraph"].hit
+        assert not prov["schedule"].hit
+
+    def test_memory_lru_is_bounded(self):
+        store = ArtifactStore(memory_items=2)
+        store.memory_put("a", 1)
+        store.memory_put("b", 2)
+        store.memory_put("c", 3)
+        assert store.memory_get("a") is None
+        assert store.memory_get("b") == 2
+        assert store.memory_get("c") == 3
+
+    def test_memory_only_store_misses_disk(self):
+        store = ArtifactStore()
+        assert not store.disk_enabled
+        assert store.disk_read("mesh", "deadbeef") is None
+        assert store.disk_write("mesh", "deadbeef", {}, {}) is None
+
+
+class TestSelfHealing:
+    def _one_artifact(self, disk_store) -> tuple[Pipeline, Path, Path]:
+        pipe = Pipeline(disk_store)
+        rec = pipe.run(SCENARIO, through="partition")
+        digest = rec.provenance["partition"].digest
+        base = disk_store.root / "partition" / digest
+        return pipe, base.with_suffix(".npz"), base.with_suffix(".json")
+
+    def test_truncated_npz_recomputes_and_heals(self, disk_store):
+        pipe, npz, sidecar = self._one_artifact(disk_store)
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        disk_store.clear_memory()
+        with pytest.warns(RuntimeWarning, match="corrupt artifact"):
+            rec = pipe.run(SCENARIO, through="partition")
+        assert not rec.provenance["partition"].hit
+        assert disk_store.stats.corrupt == 1
+        # the overwrite healed the entry: next read is a clean disk hit
+        disk_store.clear_memory()
+        rec2 = pipe.run(SCENARIO, through="partition")
+        assert rec2.provenance["partition"].cache == "disk"
+
+    def test_mismatched_sidecar_recomputes(self, disk_store):
+        pipe, _, sidecar = self._one_artifact(disk_store)
+        record = json.loads(sidecar.read_text())
+        record["digest"] = "0" * len(record["digest"])
+        sidecar.write_text(json.dumps(record))
+        disk_store.clear_memory()
+        with pytest.warns(RuntimeWarning, match="corrupt artifact"):
+            rec = pipe.run(SCENARIO, through="partition")
+        assert not rec.provenance["partition"].hit
+
+    def test_unparsable_sidecar_recomputes(self, disk_store):
+        pipe, _, sidecar = self._one_artifact(disk_store)
+        sidecar.write_text("{not json")
+        disk_store.clear_memory()
+        with pytest.warns(RuntimeWarning, match="corrupt artifact"):
+            rec = pipe.run(SCENARIO, through="partition")
+        assert not rec.provenance["partition"].hit
+
+
+class TestRoundTrip:
+    def test_mc_tl_partition_bit_for_bit(self, disk_store):
+        pipe = Pipeline(disk_store)
+        fresh = pipe.run(SCENARIO, through="partition").decomp
+
+        disk_store.clear_memory()
+        rec = pipe.run(SCENARIO, through="partition")
+        assert rec.provenance["partition"].cache == "disk"
+        cached = rec.decomp
+        assert cached is not fresh
+        assert cached.domain.dtype == fresh.domain.dtype
+        np.testing.assert_array_equal(cached.domain, fresh.domain)
+        np.testing.assert_array_equal(
+            cached.domain_process, fresh.domain_process
+        )
+        assert cached.num_domains == fresh.num_domains
+        assert cached.num_processes == fresh.num_processes
+        assert cached.strategy == fresh.strategy
+
+    def test_schedule_round_trips(self, disk_store):
+        pipe = Pipeline(disk_store)
+        fresh = pipe.run(SCENARIO)
+
+        disk_store.clear_memory()
+        rec = pipe.run(SCENARIO)
+        assert rec.provenance["schedule"].cache == "disk"
+        assert rec.metrics.makespan == fresh.metrics.makespan
+        assert rec.metrics.total_work == fresh.metrics.total_work
+        np.testing.assert_array_equal(
+            rec.trace.start, fresh.trace.start
+        )
+        rec.trace.validate_against(rec.dag)
+
+    def test_sidecar_provenance_fields(self, disk_store):
+        pipe = Pipeline(disk_store)
+        rec = pipe.run(SCENARIO, through="partition")
+        digest = rec.provenance["partition"].digest
+        sc = disk_store.sidecar("partition", digest)
+        assert sc is not None
+        assert sc["stage"] == "partition"
+        assert sc["digest"] == digest
+        assert len(sc["upstream"]) == 2
+        assert sc["stage_version"] == 1
+        assert sc["wall_time"] >= 0
+        assert json.loads(sc["config"])["strategy"] == "MC_TL"
