@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Measure the partitioner hot paths and diff against the tracked baseline.
+"""Measure the hot-path perf suites and diff against the tracked baselines.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_compare.py            # diff vs BENCH_partitioner.json
-    PYTHONPATH=src python scripts/bench_compare.py --update   # re-measure and overwrite it
+    PYTHONPATH=src python scripts/bench_compare.py                # all suites
+    PYTHONPATH=src python scripts/bench_compare.py --suite flusim
+    PYTHONPATH=src python scripts/bench_compare.py --update       # refresh baselines
     PYTHONPATH=src python scripts/bench_compare.py --size smoke --repeats 2
 
-Exits 1 if any HEM/FM fast-path timing regressed by more than
-``--threshold`` (default 3x) against the baseline.  The baseline file
-is committed so the perf trajectory is tracked PR-over-PR; refresh it
-with ``--update`` after intentional changes (numbers are
-machine-dependent — compare like with like).
+Each suite (partitioner, taskgraph, flusim) diffs against its committed
+``BENCH_<suite>.json``.  Exits 1 if any fast-path timing regressed by
+more than ``--threshold`` (default 3x, absolute — loose because wall
+times are machine-dependent) or any fast-over-reference speedup ratio
+dropped by more than 20% (machine-robust: both engines run in the same
+process).  Refresh the baselines with ``--update`` after intentional
+changes.
 """
 
 from __future__ import annotations
@@ -24,24 +27,23 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.perf import (  # noqa: E402
-    compare_results,
-    format_report,
-    load_baseline,
-    run_suite,
-    save_baseline,
-)
+from repro.perf import SUITES, compare_results, load_baseline, save_baseline  # noqa: E402
+from repro.perf.common import conservative_min  # noqa: E402
 
-DEFAULT_BASELINE = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_partitioner.json",
-)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def baseline_path(suite: str) -> str:
+    return os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
 
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
-        "--baseline", default=DEFAULT_BASELINE, help="baseline JSON path"
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="all",
+        help="which perf suite(s) to run",
     )
     ap.add_argument("--size", choices=["smoke", "full", "both"], default="both")
     ap.add_argument("--repeats", type=int, default=3)
@@ -49,38 +51,82 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--jobs", type=int, default=2)
     ap.add_argument("--threshold", type=float, default=3.0)
     ap.add_argument(
+        "--speedup-drop",
+        type=float,
+        default=1.2,
+        help="speedup-ratio drop factor that counts as a regression",
+    )
+    ap.add_argument(
+        "--save-dir",
+        default=None,
+        help="also write each suite's result JSON into this directory",
+    )
+    ap.add_argument(
         "--update",
         action="store_true",
-        help="overwrite the baseline with this run instead of diffing",
+        help="overwrite the baselines with this run instead of diffing",
+    )
+    ap.add_argument(
+        "--update-runs",
+        type=int,
+        default=3,
+        help="with --update: suite runs merged into a conservative "
+        "baseline (each kernel entry comes from its lowest-speedup "
+        "run, so the 20%% gate does not fire on run-to-run noise)",
     )
     args = ap.parse_args(argv)
 
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
     sizes = ("smoke", "full") if args.size == "both" else (args.size,)
-    result = run_suite(
-        sizes, repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
-    )
-    print(format_report(result))
+    rc = 0
+    for name in suites:
+        mod = SUITES[name]
+        kwargs = dict(repeats=args.repeats, seed=args.seed)
+        if name == "partitioner":
+            kwargs["n_jobs"] = args.jobs
+        result = mod.run_suite(sizes, **kwargs)
+        if args.update and args.update_runs > 1:
+            result = conservative_min(
+                [result]
+                + [
+                    mod.run_suite(sizes, **kwargs)
+                    for _ in range(args.update_runs - 1)
+                ]
+            )
+        print(f"== {name} ==")
+        print(mod.format_report(result))
 
-    if args.update:
-        save_baseline(result, args.baseline)
-        print(f"updated {args.baseline}")
-        return 0
+        if args.save_dir:
+            os.makedirs(args.save_dir, exist_ok=True)
+            out = os.path.join(args.save_dir, f"BENCH_{name}.json")
+            save_baseline(result, out)
+            print(f"saved {out}")
 
-    if not os.path.exists(args.baseline):
-        print(
-            f"no baseline at {args.baseline}; run with --update to create it",
-            file=sys.stderr,
+        path = baseline_path(name)
+        if args.update:
+            save_baseline(result, path)
+            print(f"updated {path}")
+            continue
+        if not os.path.exists(path):
+            print(
+                f"no baseline at {path}; run with --update to create it",
+                file=sys.stderr,
+            )
+            rc = max(rc, 2)
+            continue
+        problems = compare_results(
+            load_baseline(path),
+            result,
+            threshold=args.threshold,
+            speedup_drop=args.speedup_drop,
         )
-        return 2
-    problems = compare_results(
-        load_baseline(args.baseline), result, threshold=args.threshold
-    )
-    if problems:
-        for msg in problems:
-            print(f"REGRESSION {msg}", file=sys.stderr)
-        return 1
-    print(f"no regressions vs {args.baseline}")
-    return 0
+        if problems:
+            for msg in problems:
+                print(f"REGRESSION [{name}] {msg}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"no regressions vs {path}")
+    return rc
 
 
 if __name__ == "__main__":

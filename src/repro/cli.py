@@ -19,8 +19,9 @@ Commands
 ``mesh <name>``
     Generate a replica mesh, print its summary, optionally save it.
 ``bench``
-    Run the partitioner hot-path microbenchmarks; optionally compare
-    against (or update) the ``BENCH_partitioner.json`` baseline.
+    Run the hot-path microbenchmark suites (``--suite partitioner``,
+    ``taskgraph``, ``flusim`` or ``all``); optionally compare against
+    (or update) the matching committed ``BENCH_<suite>.json`` baseline.
 ``campaign``
     Run a multi-iteration solver campaign with optional physics
     guards, fault injection, checkpointing and resume.
@@ -216,37 +217,46 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import (
-        compare_results,
-        format_report,
-        load_baseline,
-        run_suite,
-        save_baseline,
-    )
+    from .perf import SUITES, compare_results, load_baseline, save_baseline
 
     _apply_artifacts(args)
     if args.compare and not os.path.exists(args.compare):
         print(f"no baseline at {args.compare}", file=sys.stderr)
         return 2
 
-    sizes = ("smoke", "full") if args.size == "both" else (args.size,)
-    result = run_suite(
-        sizes, repeats=args.repeats, seed=args.seed, n_jobs=args.jobs
-    )
-    print(format_report(result))
-    if args.output:
-        save_baseline(result, args.output)
-        print(f"wrote {args.output}")
-    if args.compare:
-        problems = compare_results(
-            load_baseline(args.compare), result, threshold=args.threshold
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    if len(suites) > 1 and (args.output or args.compare):
+        print(
+            "--output/--compare need a single --suite "
+            "(use scripts/bench_compare.py for the multi-suite diff)",
+            file=sys.stderr,
         )
-        if problems:
-            for msg in problems:
-                print(f"REGRESSION {msg}", file=sys.stderr)
-            return 1
-        print(f"no regressions vs {args.compare}")
-    return 0
+        return 2
+
+    sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    rc = 0
+    for name in suites:
+        mod = SUITES[name]
+        kwargs = dict(repeats=args.repeats, seed=args.seed)
+        if name == "partitioner":
+            kwargs["n_jobs"] = args.jobs
+        result = mod.run_suite(sizes, **kwargs)
+        print(f"== {name} ==")
+        print(mod.format_report(result))
+        if args.output:
+            save_baseline(result, args.output)
+            print(f"wrote {args.output}")
+        if args.compare:
+            problems = compare_results(
+                load_baseline(args.compare), result, threshold=args.threshold
+            )
+            if problems:
+                for msg in problems:
+                    print(f"REGRESSION {msg}", file=sys.stderr)
+                rc = 1
+            else:
+                print(f"no regressions vs {args.compare}")
+    return rc
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -481,7 +491,13 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_mesh)
 
     p = sub.add_parser(
-        "bench", help="run the partitioner hot-path microbenchmarks"
+        "bench", help="run the hot-path microbenchmark suites"
+    )
+    p.add_argument(
+        "--suite",
+        choices=["partitioner", "taskgraph", "flusim", "all"],
+        default="partitioner",
+        help="which perf suite(s) to run",
     )
     p.add_argument(
         "--size", choices=["smoke", "full", "both"], default="full"

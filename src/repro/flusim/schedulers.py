@@ -18,6 +18,7 @@ import numpy as np
 __all__ = [
     "ReadyQueue",
     "FifoQueue",
+    "ArrayFifoQueue",
     "LifoQueue",
     "PriorityQueue",
     "RandomQueue",
@@ -57,6 +58,36 @@ class FifoQueue:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+class ArrayFifoQueue:
+    """Array-backed eager/FIFO queue: a growing list with a pop cursor.
+
+    Equivalent to :class:`FifoQueue` **iff push ready-times are
+    non-decreasing** — then FIFO-by-(ready_time, arrival) is exactly
+    insertion order and the heap is pure overhead.  The simulator's
+    event loop pushes only at the monotonically advancing simulation
+    clock, so it satisfies the precondition and uses this queue for the
+    ``eager`` policy; external callers that push out of order must use
+    :class:`FifoQueue`.
+    """
+
+    __slots__ = ("_items", "_head")
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+        self._head = 0
+
+    def push(self, task: int, ready_time: float) -> None:
+        self._items.append(task)
+
+    def pop(self) -> int:
+        t = self._items[self._head]
+        self._head += 1
+        return t
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head
 
 
 class LifoQueue:

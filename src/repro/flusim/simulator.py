@@ -16,6 +16,36 @@ communication model, message arrivals) advances time, and after *all*
 events at the current instant are processed, free cores are refilled —
 so simultaneous completions release their successors together, like a
 real runtime.
+
+Engines
+-------
+The seed event loop (kept verbatim as the differential oracle in
+:mod:`repro.flusim.reference`) spent its time in NumPy *scalar*
+indexing: one fancy-index in-degree decrement and two scalar gathers
+per dependency edge, inside a Python ``for u in sa[...]`` loop.  This
+module keeps the identical event semantics behind two interchangeable
+cores, selected by mean out-degree (``engine="auto"``):
+
+* ``"scalar"`` — for the narrow DAGs Algorithm 1 produces (a handful
+  of successors per task): all per-event state (in-degrees, CSR
+  adjacency, durations, ready times) lives in plain Python lists,
+  whose element access is several times cheaper than NumPy scalar
+  indexing; the ``eager`` policy additionally swaps the heap-based
+  FIFO for :class:`~repro.flusim.schedulers.ArrayFifoQueue` (push
+  times are monotone in simulation time, so FIFO order *is* insertion
+  order).
+* ``"batched"`` — for wide DAGs: each completion releases its whole
+  successor slice with NumPy kernels — one ``np.subtract.at``
+  in-degree decrement and a ``flatnonzero`` over the CSR slice instead
+  of the per-successor loop (duplicate edges resolve to the last
+  occurrence, matching the sequential semantics).
+
+Cross-process communication delays are precomputed per task (a single
+vectorized α + size/β evaluation) instead of one ``comm.delay`` call
+per edge.  Both engines produce traces bit-identical to the reference
+oracle; the fuzz harness and the perf suite
+(:mod:`repro.perf.flusim`, ``BENCH_flusim.json``) enforce and track
+this.
 """
 
 from __future__ import annotations
@@ -27,13 +57,19 @@ import numpy as np
 from ..taskgraph.dag import TaskDAG
 from .cluster import ClusterConfig
 from .commmodel import CommModel
-from .schedulers import make_scheduler
+from .schedulers import ArrayFifoQueue, make_scheduler
 from .trace import Trace
 
 __all__ = ["simulate"]
 
 _COMPLETION = 0
 _READY = 1
+_EPS = 1e-15
+
+#: Mean successors-per-task above which the batched NumPy release
+#: kernel overtakes the scalar core (NumPy per-call overhead amortizes
+#: across the slice).
+_BATCH_DEGREE = 32
 
 
 def simulate(
@@ -44,6 +80,7 @@ def simulate(
     durations: np.ndarray | None = None,
     comm: CommModel | None = None,
     seed: int = 0,
+    engine: str = "auto",
 ) -> Trace:
     """Simulate one iteration of the solver on a virtual cluster.
 
@@ -59,11 +96,20 @@ def simulate(
     durations:
         Optional per-task durations overriding ``dag.tasks.cost`` —
         used to *replay* measured solver timings on the virtual
-        cluster (production-validation experiments).
+        cluster (production-validation experiments).  Must be finite
+        and non-negative; NaN/inf are rejected up front (a poisoned
+        duration would otherwise silently corrupt every downstream
+        start/end time — the resilience fault injector can produce
+        exactly that).
     comm:
         Optional α/β communication model; cross-process dependencies
         then delay successor readiness by ``α + objects/β``.  ``None``
         (default) reproduces the paper's overhead-free FLUSIM.
+    engine:
+        Event-loop core: ``"auto"`` (default) picks by mean
+        out-degree, ``"scalar"`` / ``"batched"`` force one (see the
+        module docstring).  All engines produce identical traces; the
+        knob exists for benchmarks and differential tests.
 
     Returns
     -------
@@ -76,8 +122,16 @@ def simulate(
     durations = np.asarray(durations, dtype=np.float64)
     if len(durations) != T:
         raise ValueError("durations length mismatch")
+    if not np.all(np.isfinite(durations)):
+        bad = int(np.flatnonzero(~np.isfinite(durations))[0])
+        raise ValueError(
+            f"non-finite duration (task {bad}: {durations[bad]!r}); "
+            "NaN/inf durations would corrupt every downstream time"
+        )
     if np.any(durations < 0):
         raise ValueError("negative duration")
+    if engine not in ("auto", "scalar", "batched"):
+        raise ValueError(f"unknown engine {engine!r}")
     nproc = cluster.num_processes
     tproc = dag.tasks.process
     if T and (tproc.min() < 0 or tproc.max() >= nproc):
@@ -88,88 +142,160 @@ def simulate(
     bottom_levels = None
     if scheduler == "cp":
         _, bottom_levels = dag.critical_path()
-    queue_factory = make_scheduler(
-        scheduler,
-        bottom_levels=bottom_levels,
-        costs=dag.tasks.cost,
-        seed=seed,
-    )
+    if scheduler == "eager" and comm is None:
+        # Without READY events every push in a drain carries the same
+        # clock value, so FIFO-by-(time, arrival) == insertion order
+        # and the heap is pure overhead.  With a comm model a READY
+        # push can carry a time inside the drain epsilon, where the
+        # heap's (time, arrival) order differs — keep FifoQueue there.
+        queue_factory = ArrayFifoQueue
+    else:
+        queue_factory = make_scheduler(
+            scheduler,
+            bottom_levels=bottom_levels,
+            costs=dag.tasks.cost,
+            seed=seed,
+        )
     ready = [queue_factory() for _ in range(nproc)]
 
     indeg = dag.in_degrees()
     sx, sa = dag.successors_csr()
-    nobj = dag.tasks.num_objects
 
-    # Per-process pool of free worker ids (smallest first for a stable
-    # Gantt layout).  For unbounded clusters workers are created lazily.
-    cores = cluster.cores
+    # Per-task cross-process delay, precomputed in one vectorized pass
+    # (the seed engine re-evaluated comm.delay per dependency edge).
+    delays = None
+    if comm is not None:
+        nobj = dag.tasks.num_objects
+        if comm.bandwidth == float("inf"):
+            delays = np.full(T, comm.latency, dtype=np.float64)
+        else:
+            delays = comm.latency + (
+                nobj * comm.bytes_per_object / comm.bandwidth
+            )
+
+    if engine == "auto":
+        wide = T > 0 and dag.num_edges >= _BATCH_DEGREE * T
+        engine = "batched" if wide else "scalar"
+    run = _run_batched if engine == "batched" else _run_scalar
+    out_worker, out_start, out_end = run(
+        T, nproc, cluster.cores, tproc, durations, indeg, sx, sa,
+        ready, delays,
+    )
+
+    return Trace(
+        process=tproc.astype(np.int32).copy(),
+        worker=np.asarray(out_worker, dtype=np.int32),
+        start=np.asarray(out_start, dtype=np.float64),
+        end=np.asarray(out_end, dtype=np.float64),
+        num_processes=nproc,
+        cores_per_process=cluster.cores,
+    )
+
+
+def _run_scalar(
+    T: int,
+    nproc: int,
+    cores: int,
+    tproc: np.ndarray,
+    durations: np.ndarray,
+    indeg: np.ndarray,
+    sx: np.ndarray,
+    sa: np.ndarray,
+    ready: list,
+    delays: np.ndarray | None,
+) -> tuple[list[int], list[float], list[float]]:
+    """Low-overhead core: all per-event state in Python lists."""
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    sx_l = sx.tolist()
+    sa_l = sa.tolist()
+    indeg_l = indeg.tolist()
+    tproc_l = tproc.tolist()
+    dur_l = durations.tolist()
+    has_comm = delays is not None
+    delays_l = delays.tolist() if has_comm else None
+    ready_at = [0.0] * T if has_comm else None
+    single_core = cores == 1
+
     free_workers: list[list[int]] = [[] for _ in range(nproc)]
     next_worker = [0] * nproc
     free_count = [cores] * nproc
 
-    out_proc = tproc.astype(np.int32).copy()
-    out_worker = np.zeros(T, dtype=np.int32)
-    out_start = np.zeros(T, dtype=np.float64)
-    out_end = np.zeros(T, dtype=np.float64)
-    ready_at = np.zeros(T, dtype=np.float64)
+    out_worker = [0] * T
+    out_start = [0.0] * T
+    out_end = [0.0] * T
 
     events: list[tuple[float, int, int, int]] = []  # (t, kind, tiebreak, task)
     counter = 0
 
     def assign(p: int, now: float) -> None:
         nonlocal counter
-        while free_count[p] > 0 and len(ready[p]) > 0:
-            t = ready[p].pop()
-            if free_workers[p]:
-                w = heapq.heappop(free_workers[p])
+        q = ready[p]
+        while free_count[p] > 0 and len(q) > 0:
+            t = q.pop()
+            if single_core:
+                w = 0
+            elif free_workers[p]:
+                w = heappop(free_workers[p])
             else:
                 w = next_worker[p]
                 next_worker[p] += 1
             free_count[p] -= 1
             out_worker[t] = w
             out_start[t] = now
-            out_end[t] = now + durations[t]
-            heapq.heappush(events, (out_end[t], _COMPLETION, counter, t))
+            end = now + dur_l[t]
+            out_end[t] = end
+            heappush(events, (end, _COMPLETION, counter, t))
             counter += 1
 
-    for t in np.flatnonzero(indeg == 0):
-        ready[tproc[t]].push(int(t), 0.0)
+    for t in np.flatnonzero(indeg == 0).tolist():
+        ready[tproc_l[t]].push(t, 0.0)
     for p in range(nproc):
         assign(p, 0.0)
 
     done = 0
     while events:
         now = events[0][0]
+        eps = now + _EPS
         touched: set[int] = set()
         # Drain every event at this instant before reassigning.
-        while events and events[0][0] <= now + 1e-15:
-            _, kind, _, t = heapq.heappop(events)
+        while events and events[0][0] <= eps:
+            _, kind, _, t = heappop(events)
             if kind == _READY:
-                pu = int(tproc[t])
-                ready[pu].push(int(t), ready_at[t])
+                pu = tproc_l[t]
+                ready[pu].push(t, ready_at[t])
                 touched.add(pu)
                 continue
             done += 1
-            p = int(tproc[t])
-            heapq.heappush(free_workers[p], int(out_worker[t]))
+            p = tproc_l[t]
+            if not single_core:
+                heappush(free_workers[p], out_worker[t])
             free_count[p] += 1
             touched.add(p)
-            size = int(nobj[t])
-            for u in sa[sx[t] : sx[t + 1]]:
-                if comm is not None and tproc[u] != p:
-                    arrival = now + comm.delay(size)
-                    if arrival > ready_at[u]:
+            if has_comm:
+                arrival = now + delays_l[t]
+                for u in sa_l[sx_l[t] : sx_l[t + 1]]:
+                    if tproc_l[u] != p and arrival > ready_at[u]:
                         ready_at[u] = arrival
-                indeg[u] -= 1
-                if indeg[u] == 0:
-                    pu = int(tproc[u])
-                    if comm is not None and ready_at[u] > now + 1e-15:
-                        heapq.heappush(
-                            events, (float(ready_at[u]), _READY, counter, int(u))
-                        )
-                        counter += 1
-                    else:
-                        ready[pu].push(int(u), now)
+                    d = indeg_l[u] - 1
+                    indeg_l[u] = d
+                    if d == 0:
+                        if ready_at[u] > eps:
+                            heappush(
+                                events, (ready_at[u], _READY, counter, u)
+                            )
+                            counter += 1
+                        else:
+                            pu = tproc_l[u]
+                            ready[pu].push(u, now)
+                            touched.add(pu)
+            else:
+                for u in sa_l[sx_l[t] : sx_l[t + 1]]:
+                    d = indeg_l[u] - 1
+                    indeg_l[u] = d
+                    if d == 0:
+                        pu = tproc_l[u]
+                        ready[pu].push(u, now)
                         touched.add(pu)
         for p in touched:
             assign(p, now)
@@ -178,11 +304,123 @@ def simulate(
         raise RuntimeError(
             f"deadlock: only {done}/{T} tasks completed (cyclic graph?)"
         )
-    return Trace(
-        process=out_proc,
-        worker=out_worker,
-        start=out_start,
-        end=out_end,
-        num_processes=nproc,
-        cores_per_process=cores,
-    )
+    return out_worker, out_start, out_end
+
+
+def _run_batched(
+    T: int,
+    nproc: int,
+    cores: int,
+    tproc: np.ndarray,
+    durations: np.ndarray,
+    indeg: np.ndarray,
+    sx: np.ndarray,
+    sa: np.ndarray,
+    ready: list,
+    delays: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Wide-DAG core: each completion releases its successor slice with
+    NumPy kernels (vectorized in-degree decrement + ``flatnonzero``)."""
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    indeg = indeg.copy()
+    tproc_l = tproc.tolist()
+    dur_l = durations.tolist()
+    has_comm = delays is not None
+    delays_l = delays.tolist() if has_comm else None
+    ready_at = np.zeros(T, dtype=np.float64) if has_comm else None
+    tproc64 = tproc.astype(np.int64)
+    single_core = cores == 1
+
+    free_workers: list[list[int]] = [[] for _ in range(nproc)]
+    next_worker = [0] * nproc
+    free_count = [cores] * nproc
+
+    out_worker = [0] * T
+    out_start = [0.0] * T
+    out_end = [0.0] * T
+
+    events: list[tuple[float, int, int, int]] = []
+    counter = 0
+
+    def assign(p: int, now: float) -> None:
+        nonlocal counter
+        q = ready[p]
+        while free_count[p] > 0 and len(q) > 0:
+            t = q.pop()
+            if single_core:
+                w = 0
+            elif free_workers[p]:
+                w = heappop(free_workers[p])
+            else:
+                w = next_worker[p]
+                next_worker[p] += 1
+            free_count[p] -= 1
+            out_worker[t] = w
+            out_start[t] = now
+            end = now + dur_l[t]
+            out_end[t] = end
+            heappush(events, (end, _COMPLETION, counter, t))
+            counter += 1
+
+    for t in np.flatnonzero(indeg == 0).tolist():
+        ready[tproc_l[t]].push(t, 0.0)
+    for p in range(nproc):
+        assign(p, 0.0)
+
+    done = 0
+    while events:
+        now = events[0][0]
+        eps = now + _EPS
+        touched: set[int] = set()
+        while events and events[0][0] <= eps:
+            _, kind, _, t = heappop(events)
+            if kind == _READY:
+                pu = tproc_l[t]
+                ready[pu].push(t, ready_at[t])
+                touched.add(pu)
+                continue
+            done += 1
+            p = tproc_l[t]
+            if not single_core:
+                heappush(free_workers[p], out_worker[t])
+            free_count[p] += 1
+            touched.add(p)
+            succ = sa[sx[t] : sx[t + 1]]
+            if len(succ) == 0:
+                continue
+            if has_comm:
+                cross = succ[tproc64[succ] != p]
+                if len(cross):
+                    arrival = now + delays_l[t]
+                    np.maximum.at(ready_at, cross, arrival)
+            np.subtract.at(indeg, succ, 1)
+            pos = np.flatnonzero(indeg[succ] == 0)
+            if len(pos) == 0:
+                continue
+            vals = succ[pos]
+            if len(vals) > 1:
+                # Duplicate edges release at their *last* occurrence,
+                # matching the sequential per-edge decrement.
+                _, first_rev = np.unique(vals[::-1], return_index=True)
+                keep = len(vals) - 1 - first_rev
+                keep.sort()
+                vals = vals[keep]
+            for u in vals.tolist():
+                if has_comm and ready_at[u] > eps:
+                    heappush(
+                        events, (float(ready_at[u]), _READY, counter, u)
+                    )
+                    counter += 1
+                else:
+                    pu = tproc_l[u]
+                    ready[pu].push(u, now)
+                    touched.add(pu)
+        for p in touched:
+            assign(p, now)
+
+    if done != T:
+        raise RuntimeError(
+            f"deadlock: only {done}/{T} tasks completed (cyclic graph?)"
+        )
+    return out_worker, out_start, out_end

@@ -14,7 +14,41 @@ import numpy as np
 
 from ..taskgraph.dag import TaskDAG
 
-__all__ = ["Trace"]
+__all__ = ["Trace", "trace_differences"]
+
+
+def trace_differences(got: "Trace", want: "Trace") -> list[str]:
+    """Compare two traces under the fast-vs-reference contract.
+
+    Every per-task array must be **bit-identical** (same dtype, same
+    values — no tolerance: the optimized engine performs the same
+    IEEE operations as the oracle, so exact equality is the spec).
+    Returns human-readable differences; empty means equal.
+    """
+    out: list[str] = []
+    if len(got.start) != len(want.start):
+        out.append(f"task count {len(got.start)} != {len(want.start)}")
+        return out
+    if got.num_processes != want.num_processes:
+        out.append(
+            f"num_processes {got.num_processes} != {want.num_processes}"
+        )
+    if got.cores_per_process != want.cores_per_process:
+        out.append(
+            f"cores_per_process {got.cores_per_process} "
+            f"!= {want.cores_per_process}"
+        )
+    for f in ("process", "worker", "start", "end"):
+        a = getattr(got, f)
+        b = getattr(want, f)
+        if a.dtype != b.dtype:
+            out.append(f"{f} dtype {a.dtype} != {b.dtype}")
+        elif not np.array_equal(a, b):
+            bad = int(np.flatnonzero(a != b)[0])
+            out.append(
+                f"{f} differs first at task {bad}: {a[bad]!r} != {b[bad]!r}"
+            )
+    return out
 
 
 @dataclass

@@ -19,7 +19,15 @@
   imbalance beyond small slack;
 * **DAG checks** — every mesh decomposition is expanded into Euler and
   Heun task graphs and audited with
-  :func:`repro.taskgraph.verify.verify_dag`.
+  :func:`repro.taskgraph.verify.verify_dag`;
+* **downstream differentials** — per seed, one decomposition is pushed
+  through the vectorized Algorithm 1 generator and the low-overhead
+  FLUSIM engine and compared against the seed oracles
+  (:mod:`repro.taskgraph.reference`, :mod:`repro.flusim.reference`):
+  DAGs must match bit-identically up to canonical edge order
+  (including ``scheme="heun"`` and ``iterations > 1``) and traces must
+  be bit-identical across engines, schedulers, cluster shapes and a
+  non-free :class:`~repro.flusim.commmodel.CommModel`.
 
 Failures are collected (not raised) so one run reports everything; the
 ``repro fuzz`` CLI exits non-zero when any failure survives.
@@ -258,17 +266,74 @@ def _fuzz_graph_case(report: FuzzReport, seed: int, case: GraphCase) -> None:
         _check_fm(report, seed, name, case.graph)
 
 
+def _check_downstream(
+    report: FuzzReport, seed: int, name: str, mesh, tau, decomp
+) -> None:
+    """Differential: vectorized Algorithm 1 + low-overhead FLUSIM vs
+    the retained seed oracles — DAG and trace bit-equality."""
+    from ..flusim import ClusterConfig, CommModel, simulate, simulate_ref
+    from ..flusim.schedulers import SCHEDULERS
+    from ..flusim.trace import trace_differences
+    from ..taskgraph import generate_task_graph, generate_task_graph_ref
+    from ..taskgraph.verify import dag_differences
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(seed, name, check, detail))
+
+    dag = None
+    for scheme, iters in (("euler", 1), ("heun", 2)):
+        report.differential_checks += 1
+        fast = generate_task_graph(
+            mesh, tau, decomp, scheme=scheme, iterations=iters
+        )
+        ref = generate_task_graph_ref(
+            mesh, tau, decomp, scheme=scheme, iterations=iters
+        )
+        diffs = dag_differences(fast, ref)
+        if diffs:
+            fail(f"taskgraph-{scheme}x{iters}", "; ".join(diffs[:3]))
+        elif scheme == "euler":
+            dag = fast
+    if dag is None:
+        return
+
+    # One scheduler / cluster shape / engine combination per seed keeps
+    # the run bounded while the campaign sweeps the whole matrix.
+    scheduler = SCHEDULERS[seed % len(SCHEDULERS)]
+    cores = (1, 2, None)[seed % 3]
+    engine = ("auto", "scalar", "batched")[seed % 3]
+    cluster = ClusterConfig(decomp.num_processes, cores)
+    for comm in (None, CommModel(latency=0.05, bandwidth=32.0)):
+        report.differential_checks += 1
+        got = simulate(
+            dag, cluster, scheduler=scheduler, comm=comm, seed=seed,
+            engine=engine,
+        )
+        want = simulate_ref(
+            dag, cluster, scheduler=scheduler, comm=comm, seed=seed
+        )
+        diffs = trace_differences(got, want)
+        if diffs:
+            fail(
+                f"flusim-{scheduler}-{engine}"
+                f"-{'comm' if comm else 'nocomm'}",
+                "; ".join(diffs[:3]),
+            )
+
+
 def _fuzz_mesh_case(report: FuzzReport, seed: int, case: MeshCase) -> None:
     from ..partitioning.strategies import STRATEGIES, make_decomposition
 
     name = f"mesh:{case.name}"
     n = case.mesh.num_cells
+    strategies = sorted(STRATEGIES)
+    downstream_strat = strategies[seed % len(strategies)]
 
     def fail(check: str, detail: str) -> None:
         report.failures.append(FuzzFailure(seed, name, check, detail))
 
     for ndom in case.num_domains:
-        for strat in sorted(STRATEGIES):
+        for strat in strategies:
             report.contract_checks += 1
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore")
@@ -313,6 +378,10 @@ def _fuzz_mesh_case(report: FuzzReport, seed: int, case: MeshCase) -> None:
                 )
                 if bad:
                     fail(f"{strat}-dag-{scheme}", "; ".join(bad))
+            if strat == downstream_strat:
+                _check_downstream(
+                    report, seed, name, case.mesh, case.tau, decomp
+                )
 
 
 def run_fuzz(

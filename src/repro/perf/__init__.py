@@ -1,24 +1,40 @@
-"""Performance tracking for the partitioner hot paths.
+"""Performance tracking for the full experiment chain's hot paths.
 
-The :mod:`repro.perf.partitioner` module times the vectorized
-heavy-edge matching and incremental-gain FM against the seed
-implementations kept in :mod:`repro.graph.reference`, and records the
-results in ``BENCH_partitioner.json`` so the perf trajectory is
+One suite per optimized stage, each timing the vectorized
+implementation against the seed code kept verbatim in a ``reference``
+module, with a committed JSON baseline so the perf trajectory is
 tracked PR-over-PR (run via ``python -m repro bench`` or
-``scripts/bench_compare.py``).
+``scripts/bench_compare.py``):
+
+* :mod:`repro.perf.partitioner` — HEM + FM + k-way
+  (``BENCH_partitioner.json``);
+* :mod:`repro.perf.taskgraph` — Algorithm 1 DAG generation
+  (``BENCH_taskgraph.json``);
+* :mod:`repro.perf.flusim` — the discrete-event simulator
+  (``BENCH_flusim.json``).
 """
 
+from . import flusim as flusim_suite
+from . import partitioner as partitioner_suite
+from . import taskgraph as taskgraph_suite
+from .common import compare_results, load_baseline, save_baseline
 from .partitioner import (
     bench_graphs,
-    compare_results,
     format_report,
-    load_baseline,
     run_benchmarks,
     run_suite,
-    save_baseline,
 )
 
+#: Suite name → module; each exposes ``run_suite``, ``format_report``
+#: and the shared baseline I/O + comparator.
+SUITES = {
+    "partitioner": partitioner_suite,
+    "taskgraph": taskgraph_suite,
+    "flusim": flusim_suite,
+}
+
 __all__ = [
+    "SUITES",
     "bench_graphs",
     "compare_results",
     "format_report",
@@ -26,4 +42,7 @@ __all__ = [
     "run_benchmarks",
     "run_suite",
     "save_baseline",
+    "partitioner_suite",
+    "taskgraph_suite",
+    "flusim_suite",
 ]

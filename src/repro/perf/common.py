@@ -1,0 +1,169 @@
+"""Shared plumbing for the perf suites.
+
+Every suite (:mod:`~repro.perf.partitioner`,
+:mod:`~repro.perf.taskgraph`, :mod:`~repro.perf.flusim`) produces the
+same result shape — ``{"schema", "created", "machine", "cases"}`` with
+per-case kernel entries carrying ``ref_s`` / ``fast_s`` / ``speedup``
+— and is tracked in a committed ``BENCH_<suite>.json`` baseline.  This
+module holds the timing helper, the result envelope, baseline I/O and
+the generic regression comparator they all share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "best_of",
+    "machine_info",
+    "suite_result",
+    "save_baseline",
+    "load_baseline",
+    "compare_results",
+    "conservative_min",
+]
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` calls (noise-robust)."""
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best
+
+
+def machine_info() -> dict:
+    """Environment metadata recorded alongside every suite result."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def suite_result(cases: dict) -> dict:
+    """Wrap per-size cases in the common result envelope."""
+    return {
+        "schema": 1,
+        "created": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "machine": machine_info(),
+        "cases": cases,
+    }
+
+
+def save_baseline(result: dict, path: str) -> None:
+    """Write a suite result as the JSON baseline."""
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    """Load a previously saved baseline."""
+    with open(path) as f:
+        return json.load(f)
+
+
+def conservative_min(results: list[dict]) -> dict:
+    """Merge several runs of one suite into a conservative baseline.
+
+    For every kernel entry (a dict carrying ``fast_s`` and
+    ``speedup``), the whole entry is taken from the run with the
+    *lowest* speedup — so the recorded ratio is the worst the machine
+    actually produced and the 20% drop gate of
+    :func:`compare_results` does not fire on ordinary run-to-run
+    noise.  Non-kernel values come from the first run.
+    """
+    if not results:
+        raise ValueError("need at least one result")
+
+    def merge(variants: list) -> object:
+        first = variants[0]
+        if not all(isinstance(v, dict) for v in variants):
+            return first
+        if isinstance(first.get("speedup"), (int, float)):
+            return min(
+                (v for v in variants if "speedup" in v),
+                key=lambda v: v["speedup"],
+            )
+        return {
+            key: merge([v[key] for v in variants if key in v])
+            for key in first
+        }
+
+    return merge(results)
+
+
+def compare_results(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = 3.0,
+    speedup_drop: float = 1.2,
+) -> list[str]:
+    """Diff two suite results for fast-path regressions.
+
+    Walks the ``cases`` trees in parallel; every kernel entry (a dict
+    carrying numeric ``fast_s`` and ``speedup``) present in both is
+    checked on two gates:
+
+    * **absolute** — ``fast_s`` more than ``threshold``× the baseline
+      (a deliberately loose catch-all: absolute times shift with the
+      machine);
+    * **relative** — the fast-over-reference ``speedup`` ratio dropped
+      by more than ``speedup_drop`` (default 1.2 = a >20% regression).
+      Both engines run on the same machine in the same process, so the
+      ratio is machine-robust and is the gate CI relies on.
+
+    Entries marked ``{"skipped": true}`` (e.g. the parallel k-way
+    comparison on a single-CPU machine) are ignored.  Returns
+    human-readable regression messages; empty means clean.
+    """
+    problems: list[str] = []
+
+    def walk(base: Any, cur: Any, path: str) -> None:
+        if not (isinstance(base, dict) and isinstance(cur, dict)):
+            return
+        if base.get("skipped") or cur.get("skipped"):
+            return
+        b_fast, c_fast = base.get("fast_s"), cur.get("fast_s")
+        if isinstance(b_fast, (int, float)) and isinstance(
+            c_fast, (int, float)
+        ):
+            if c_fast > threshold * b_fast:
+                problems.append(
+                    f"{path}: fast path took {c_fast * 1e3:.1f} ms vs "
+                    f"baseline {b_fast * 1e3:.1f} ms "
+                    f"(>{threshold:g}x regression)"
+                )
+            b_sp, c_sp = base.get("speedup"), cur.get("speedup")
+            if (
+                isinstance(b_sp, (int, float))
+                and isinstance(c_sp, (int, float))
+                and c_sp * speedup_drop < b_sp
+            ):
+                problems.append(
+                    f"{path}: speedup fell to {c_sp:.2f}x vs baseline "
+                    f"{b_sp:.2f}x (>{(speedup_drop - 1) * 100:.0f}% drop)"
+                )
+            return
+        for key in base:
+            if key in cur:
+                walk(base[key], cur[key], f"{path}/{key}")
+
+    walk(
+        baseline.get("cases", {}),
+        current.get("cases", {}),
+        "cases",
+    )
+    return problems

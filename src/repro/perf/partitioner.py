@@ -19,11 +19,7 @@ partitioner actually runs.
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import time
-from typing import Any, Callable
 
 import numpy as np
 
@@ -36,6 +32,13 @@ from ..graph.reference import fm_refine_ref, heavy_edge_matching_ref
 from ..graph.refine import fm_refine
 from ..mesh.dual import mesh_to_dual_graph
 from ..pipeline import MeshConfig, Pipeline, Scenario
+from .common import (
+    best_of,
+    compare_results,
+    load_baseline,
+    save_baseline,
+    suite_result,
+)
 
 __all__ = [
     "bench_graphs",
@@ -84,17 +87,6 @@ def bench_graphs(size: str = "full") -> tuple[CSRGraph, CSRGraph]:
     return g_sc, g_sc.with_vwgt(vwgt)
 
 
-def _best_of(fn: Callable[[], Any], repeats: int) -> float:
-    best = np.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        dt = time.perf_counter() - t0
-        if dt < best:
-            best = dt
-    return best
-
-
 def _projected_partition(g: CSRGraph, seed: int) -> np.ndarray:
     """A realistic FM input: bisect one coarsening level, project back.
 
@@ -109,11 +101,11 @@ def _projected_partition(g: CSRGraph, seed: int) -> np.ndarray:
 
 
 def _bench_hem(g: CSRGraph, repeats: int, seed: int) -> dict:
-    ref_s = _best_of(
+    ref_s = best_of(
         lambda: heavy_edge_matching_ref(g, np.random.default_rng(seed)),
         repeats,
     )
-    fast_s = _best_of(
+    fast_s = best_of(
         lambda: heavy_edge_matching(g, np.random.default_rng(seed)),
         repeats,
     )
@@ -146,8 +138,8 @@ def _bench_fm(g: CSRGraph, repeats: int, seed: int) -> dict:
         fm_refine(g, p, rng=np.random.default_rng(rng_seed))
         return p
 
-    ref_s = _best_of(run_ref, repeats)
-    fast_s = _best_of(run_fast, repeats)
+    ref_s = best_of(run_ref, repeats)
+    fast_s = best_of(run_fast, repeats)
     p_ref, p_fast = run_ref(), run_fast()
     return {
         "ref_s": ref_s,
@@ -164,10 +156,24 @@ def _bench_fm(g: CSRGraph, repeats: int, seed: int) -> dict:
 def _bench_kway(
     g: CSRGraph, nparts: int, repeats: int, seed: int, n_jobs: int
 ) -> dict:
-    serial_s = _best_of(
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or n_jobs < 2:
+        # A serial-vs-parallel comparison on one CPU only measures
+        # process-pool overhead (the seed baseline recorded a
+        # misleading 0.92x "speedup" this way) — record why instead.
+        return {
+            "skipped": True,
+            "reason": (
+                f"parallel k-way needs >1 CPU and n_jobs>1 "
+                f"(cpus={cpus}, n_jobs={n_jobs})"
+            ),
+            "nparts": nparts,
+            "n_jobs": n_jobs,
+        }
+    serial_s = best_of(
         lambda: partition_graph(g, nparts, seed=seed, n_jobs=1), repeats
     )
-    parallel_s = _best_of(
+    parallel_s = best_of(
         lambda: partition_graph(g, nparts, seed=seed, n_jobs=n_jobs), repeats
     )
     r1 = partition_graph(g, nparts, seed=seed, n_jobs=1)
@@ -235,16 +241,12 @@ def run_suite(
     n_jobs: int = 2,
 ) -> dict:
     """Run the benchmark at several sizes, with environment metadata."""
-    return {
-        "schema": 1,
-        "created": time.strftime("%Y-%m-%d %H:%M:%S"),
-        "machine": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpus": os.cpu_count() or 1,
-        },
-        "cases": {s: run_benchmarks(size=s, repeats=repeats, seed=seed, n_jobs=n_jobs) for s in sizes},
-    }
+    return suite_result(
+        {
+            s: run_benchmarks(size=s, repeats=repeats, seed=seed, n_jobs=n_jobs)
+            for s in sizes
+        }
+    )
 
 
 def format_report(result: dict) -> str:
@@ -271,54 +273,13 @@ def format_report(result: dict) -> str:
                 f" -> fast {c['fast_s']*1e3:8.1f} ms  ({c['speedup']:.2f}x)"
             )
         k = case["kway"]
-        lines.append(
-            f"  {k['nparts']}-way: serial {k['serial_s']:.2f} s"
-            f" vs n_jobs={k['n_jobs']} {k['parallel_s']:.2f} s"
-            f" ({k['parallel_speedup']:.2f}x);"
-            f" cut {k['serial_cut']:.0f} vs {k['parallel_cut']:.0f}"
-        )
+        if k.get("skipped"):
+            lines.append(f"  k-way: skipped ({k['reason']})")
+        else:
+            lines.append(
+                f"  {k['nparts']}-way: serial {k['serial_s']:.2f} s"
+                f" vs n_jobs={k['n_jobs']} {k['parallel_s']:.2f} s"
+                f" ({k['parallel_speedup']:.2f}x);"
+                f" cut {k['serial_cut']:.0f} vs {k['parallel_cut']:.0f}"
+            )
     return "\n".join(lines)
-
-
-def save_baseline(result: dict, path: str) -> None:
-    """Write a suite result as the JSON baseline."""
-    with open(path, "w") as f:
-        json.dump(result, f, indent=2, sort_keys=True)
-        f.write("\n")
-
-
-def load_baseline(path: str) -> dict:
-    """Load a previously saved baseline."""
-    with open(path) as f:
-        return json.load(f)
-
-
-def compare_results(
-    baseline: dict,
-    current: dict,
-    *,
-    threshold: float = 3.0,
-) -> list[str]:
-    """Compare the fast-path timings of two suite results.
-
-    Returns a list of regression messages: any HEM/FM fast-path timing
-    in ``current`` that is more than ``threshold`` times slower than
-    the same entry in ``baseline`` (only sizes present in both are
-    compared).  An empty list means no regression.
-    """
-    problems: list[str] = []
-    for size, base_case in baseline.get("cases", {}).items():
-        cur_case = current.get("cases", {}).get(size)
-        if cur_case is None:
-            continue
-        for kernel in ("hem", "fm"):
-            for mode in ("sc", "mc_tl"):
-                b = base_case[kernel][mode]["fast_s"]
-                c = cur_case[kernel][mode]["fast_s"]
-                if c > threshold * b:
-                    problems.append(
-                        f"{size}/{kernel}/{mode}: fast path took {c*1e3:.1f} ms"
-                        f" vs baseline {b*1e3:.1f} ms"
-                        f" (>{threshold:.0f}x regression)"
-                    )
-    return problems

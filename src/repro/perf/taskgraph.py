@@ -1,0 +1,170 @@
+"""Microbenchmarks for task-graph generation (Algorithm 1).
+
+Times the vectorized :func:`~repro.taskgraph.generation.generate_task_graph`
+against the seed implementation kept verbatim in
+:mod:`repro.taskgraph.reference`, on the same graded benchmark mesh the
+partitioner suite uses (decomposed with MC_TL — the configuration the
+paper's chain actually runs).  Both schemes are timed at
+``iterations=4``, where the template-replay optimization matters; every
+timed pair is also checked for DAG equivalence
+(:func:`~repro.taskgraph.verify.dag_differences`), so the benchmark
+doubles as a differential test.  Results land in
+``BENCH_taskgraph.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.dual import mesh_to_dual_graph
+from ..partitioning import make_decomposition
+from ..pipeline import MeshConfig, Pipeline, Scenario
+from ..taskgraph import (
+    dag_differences,
+    generate_task_graph,
+    generate_task_graph_ref,
+)
+from .common import (
+    best_of,
+    compare_results,
+    load_baseline,
+    save_baseline,
+    suite_result,
+)
+
+__all__ = [
+    "SIZES",
+    "bench_inputs",
+    "run_benchmarks",
+    "run_suite",
+    "format_report",
+    "save_baseline",
+    "load_baseline",
+    "compare_results",
+]
+
+#: Benchmark sizes: mesh depth bounds plus decomposition shape.  The
+#: smoke mesh keeps 3 temporal levels (4 subiterations) so the timed
+#: emission loop, not the shared group preprocessing, dominates —
+#: a 2-level mesh makes the speedup ratio too jittery to gate on.
+SIZES = {
+    "full": dict(max_depth=10, min_depth=5, domains=64, processes=16),
+    "smoke": dict(max_depth=9, min_depth=4, domains=32, processes=8),
+}
+
+#: Iteration count for the timed generation calls — deep enough that
+#: the one-iteration template replay dominates.
+ITERATIONS = 4
+
+
+def bench_inputs(size: str = "full", *, seed: int = 0):
+    """Build ``(mesh, tau, decomp)`` for one benchmark size.
+
+    The mesh comes from the pipeline's ``bench_graded`` builder (reused
+    via the artifact store across runs); temporal levels derive from
+    refinement depth and the decomposition is MC_TL.
+    """
+    if size not in SIZES:
+        raise ValueError(f"unknown benchmark size {size!r}")
+    cfg = SIZES[size]
+    rec = Pipeline().run(
+        Scenario(
+            mesh=MeshConfig(
+                name="bench_graded",
+                scale=cfg["max_depth"],
+                min_depth=cfg["min_depth"],
+            )
+        ),
+        through="mesh",
+    )
+    mesh = rec.mesh
+    tau = (mesh.cell_depth - mesh.cell_depth.min()).astype(np.int64)
+    decomp = make_decomposition(
+        mesh,
+        tau,
+        cfg["domains"],
+        cfg["processes"],
+        strategy="MC_TL",
+        seed=seed,
+    )
+    return mesh, tau, decomp
+
+
+def _bench_scheme(mesh, tau, decomp, scheme: str, repeats: int) -> dict:
+    kwargs = dict(scheme=scheme, iterations=ITERATIONS)
+    ref_s = best_of(
+        lambda: generate_task_graph_ref(mesh, tau, decomp, **kwargs), repeats
+    )
+    fast_s = best_of(
+        lambda: generate_task_graph(mesh, tau, decomp, **kwargs), repeats
+    )
+    ref = generate_task_graph_ref(mesh, tau, decomp, **kwargs)
+    fast = generate_task_graph(mesh, tau, decomp, **kwargs)
+    diffs = dag_differences(fast, ref)
+    if diffs:
+        raise AssertionError(
+            f"fast generator diverged from reference ({scheme}): "
+            + "; ".join(diffs[:3])
+        )
+    return {
+        "ref_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s,
+        "tasks": fast.num_tasks,
+        "edges": fast.num_edges,
+        "iterations": ITERATIONS,
+    }
+
+
+def run_benchmarks(
+    *, size: str = "full", repeats: int = 3, seed: int = 0
+) -> dict:
+    """Run the generation benchmark at one size (both schemes)."""
+    mesh, tau, decomp = bench_inputs(size, seed=seed)
+    dual = mesh_to_dual_graph(mesh)
+    cfg = SIZES[size]
+    return {
+        "size": size,
+        "mesh": {
+            "cells": mesh.num_cells,
+            "faces": dual.num_edges,
+            "levels": int(tau.max()) + 1,
+        },
+        "domains": cfg["domains"],
+        "processes": cfg["processes"],
+        "generate": {
+            scheme: _bench_scheme(mesh, tau, decomp, scheme, repeats)
+            for scheme in ("euler", "heun")
+        },
+    }
+
+
+def run_suite(
+    sizes: tuple[str, ...] = ("smoke", "full"),
+    *,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run the benchmark at several sizes, with environment metadata."""
+    return suite_result(
+        {s: run_benchmarks(size=s, repeats=repeats, seed=seed) for s in sizes}
+    )
+
+
+def format_report(result: dict) -> str:
+    """Human-readable table for one suite result."""
+    lines = []
+    for size, case in result.get("cases", {}).items():
+        m = case["mesh"]
+        lines.append(
+            f"[{size}] {m['cells']} cells, {m['levels']} levels, "
+            f"{case['domains']} domains / {case['processes']} processes"
+        )
+        for scheme, c in case["generate"].items():
+            lines.append(
+                f"  generate {scheme:5s} x{c['iterations']}: "
+                f"ref {c['ref_s'] * 1e3:8.1f} ms -> "
+                f"fast {c['fast_s'] * 1e3:8.1f} ms  ({c['speedup']:.2f}x)"
+                f"  [{c['tasks']} tasks, {c['edges']} edges]"
+            )
+    return "\n".join(lines)

@@ -208,7 +208,9 @@ class TaskGraphStage:
     :class:`~repro.taskgraph.dag.TaskDAG` (paper Algorithm 1)."""
 
     name = "taskgraph"
-    version = 1
+    # v2: vectorized generator — canonical (lexsorted) edge order
+    # replaces the seed loop's per-task set order in packed artifacts.
+    version = 2
 
     @staticmethod
     def compute(
@@ -250,7 +252,9 @@ class ScheduleStage:
     (:class:`~repro.flusim.trace.Trace`, metrics) pair."""
 
     name = "schedule"
-    version = 1
+    # v2: consumes the v2 (reordered-edge) task graphs; traces are
+    # engine-identical but cached entries must not mix generations.
+    version = 2
 
     @staticmethod
     def compute(

@@ -6,13 +6,17 @@ from .analysis import (
     work_by_process_level,
     work_by_process_subiteration,
 )
-from .dag import TaskDAG
+from .dag import TaskDAG, canonical_edges
 from .generation import classify_objects, generate_task_graph
+from .reference import generate_task_graph_ref
 from .task import Locality, ObjectType, TaskArrays, TaskView
-from .verify import verify_dag
+from .verify import dag_differences, verify_dag
 
 __all__ = [
     "verify_dag",
+    "dag_differences",
+    "canonical_edges",
+    "generate_task_graph_ref",
     "TaskDAG",
     "TaskArrays",
     "TaskView",

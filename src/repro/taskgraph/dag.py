@@ -13,7 +13,19 @@ import numpy as np
 
 from .task import TaskArrays
 
-__all__ = ["TaskDAG"]
+__all__ = ["TaskDAG", "canonical_edges"]
+
+
+def canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Canonical form of an edge array: unique ``(pred, succ)`` rows in
+    lexicographic order.  Two generators that emit the same dependency
+    *set* in different orders produce equal canonical arrays — the
+    comparison contract between the vectorized generator and the seed
+    oracle in :mod:`repro.taskgraph.reference`."""
+    edges = np.ascontiguousarray(edges, dtype=np.int64).reshape(-1, 2)
+    if len(edges) == 0:
+        return edges
+    return np.unique(edges, axis=0)
 
 
 def _csr_from_pairs(
@@ -144,6 +156,11 @@ class TaskDAG:
             if np.any(self.edges[:, 0] == self.edges[:, 1]):
                 raise ValueError("self-dependency")
         self.topological_order()
+
+    def canonical_edges(self) -> np.ndarray:
+        """The edge set in canonical form (see
+        :func:`canonical_edges`)."""
+        return canonical_edges(self.edges)
 
     def total_work(self) -> float:
         """Sum of all task costs (invariant across partitionings —

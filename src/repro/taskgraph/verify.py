@@ -28,10 +28,61 @@ import numpy as np
 
 from ..temporal.levels import face_levels
 from ..temporal.scheme import active_levels, num_subiterations
-from .dag import TaskDAG
+from .dag import TaskDAG, canonical_edges
 from .task import ObjectType
 
-__all__ = ["verify_dag"]
+__all__ = ["verify_dag", "dag_differences"]
+
+#: Task-array fields compared by :func:`dag_differences`.
+_TASK_FIELDS = (
+    "subiteration",
+    "phase_tau",
+    "obj_type",
+    "locality",
+    "domain",
+    "process",
+    "num_objects",
+    "cost",
+    "stage",
+)
+
+
+def dag_differences(got: TaskDAG, want: TaskDAG) -> list[str]:
+    """Compare two task DAGs under the fast-vs-reference contract.
+
+    Task arrays must be **bit-identical** (same dtype, same values,
+    same order) and the dependency sets equal after canonicalization
+    (:func:`~repro.taskgraph.dag.canonical_edges` — edge *order* is
+    implementation-defined).  Returns human-readable differences;
+    empty means the DAGs are equivalent.
+    """
+    out: list[str] = []
+    if got.num_tasks != want.num_tasks:
+        out.append(f"task count {got.num_tasks} != {want.num_tasks}")
+        return out
+    for f in _TASK_FIELDS:
+        a = getattr(got.tasks, f)
+        b = getattr(want.tasks, f)
+        if a.dtype != b.dtype:
+            out.append(f"tasks.{f} dtype {a.dtype} != {b.dtype}")
+        elif not np.array_equal(a, b):
+            bad = int(np.flatnonzero(a != b)[0])
+            out.append(
+                f"tasks.{f} differs first at task {bad}: "
+                f"{a[bad]!r} != {b[bad]!r}"
+            )
+    ea, eb = canonical_edges(got.edges), canonical_edges(want.edges)
+    if ea.shape != eb.shape:
+        out.append(
+            f"canonical edge count {len(ea)} != {len(eb)}"
+        )
+    elif not np.array_equal(ea, eb):
+        bad = int(np.flatnonzero(np.any(ea != eb, axis=1))[0])
+        out.append(
+            f"canonical edges differ first at row {bad}: "
+            f"{ea[bad].tolist()} != {eb[bad].tolist()}"
+        )
+    return out
 
 #: Sweeps per (subiteration, phase) for each scheme: Euler runs one
 #: face and one cell sweep; Heun runs stage-1/stage-2 faces and

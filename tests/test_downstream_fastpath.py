@@ -1,0 +1,167 @@
+"""Differential tests for the downstream hot paths.
+
+The vectorized Algorithm 1 generator and the low-overhead FLUSIM
+engine must reproduce their retained seed oracles exactly: task arrays
+bit-identical, dependency sets equal up to canonical edge order, and
+traces bit-identical — across schemes, iteration counts, schedulers,
+cluster shapes, communication models and both event-loop engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flusim import (
+    ClusterConfig,
+    CommModel,
+    simulate,
+    simulate_ref,
+    trace_differences,
+)
+from repro.flusim.schedulers import ArrayFifoQueue, FifoQueue
+from repro.taskgraph import (
+    canonical_edges,
+    dag_differences,
+    generate_task_graph,
+    generate_task_graph_ref,
+    verify_dag,
+)
+from repro.taskgraph.dag import TaskDAG
+
+
+class TestTaskGraphEquivalence:
+    @pytest.mark.parametrize(
+        "scheme,iterations",
+        [("euler", 1), ("euler", 3), ("heun", 1), ("heun", 2)],
+    )
+    def test_matches_reference(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_mc,
+        scheme, iterations,
+    ):
+        kwargs = dict(scheme=scheme, iterations=iterations)
+        fast = generate_task_graph(
+            small_cube_mesh, small_cube_tau, cube_decomp_mc, **kwargs
+        )
+        ref = generate_task_graph_ref(
+            small_cube_mesh, small_cube_tau, cube_decomp_mc, **kwargs
+        )
+        assert dag_differences(fast, ref) == []
+        assert not verify_dag(
+            fast, small_cube_mesh, small_cube_tau,
+            scheme=scheme, iterations=iterations,
+        )
+
+    def test_level_cost_factor(
+        self, small_cube_mesh, small_cube_tau, cube_decomp_sc
+    ):
+        nlev = int(small_cube_tau.max()) + 1
+        factors = [1.0 + 0.5 * i for i in range(nlev)]
+        fast = generate_task_graph(
+            small_cube_mesh, small_cube_tau, cube_decomp_sc,
+            level_cost_factor=factors, scheme="heun",
+        )
+        ref = generate_task_graph_ref(
+            small_cube_mesh, small_cube_tau, cube_decomp_sc,
+            level_cost_factor=factors, scheme="heun",
+        )
+        assert dag_differences(fast, ref) == []
+
+    def test_edges_are_int64(self, cube_dag_mc):
+        assert cube_dag_mc.edges.dtype == np.int64
+
+    def test_dag_differences_detects_perturbation(self, cube_dag_mc):
+        tasks = cube_dag_mc.tasks
+        cost = tasks.cost.copy()
+        cost[3] += 1.0
+        mutated = TaskDAG(
+            tasks=type(tasks)(
+                **{
+                    f: (cost if f == "cost" else getattr(tasks, f))
+                    for f in (
+                        "subiteration", "phase_tau", "obj_type", "locality",
+                        "domain", "process", "num_objects", "cost", "stage",
+                    )
+                }
+            ),
+            edges=cube_dag_mc.edges,
+        )
+        diffs = dag_differences(mutated, cube_dag_mc)
+        assert diffs and "cost" in diffs[0]
+
+    def test_canonical_edges_order_invariant(self, cube_dag_mc):
+        edges = cube_dag_mc.edges
+        rng = np.random.default_rng(0)
+        shuffled = edges[rng.permutation(len(edges))]
+        assert np.array_equal(
+            canonical_edges(edges), canonical_edges(shuffled)
+        )
+
+
+class TestSimulatorEquivalence:
+    @pytest.mark.parametrize("scheduler", ["eager", "lifo", "cp", "sjf"])
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_matches_reference(self, cube_dag_mc, scheduler, engine):
+        cluster = ClusterConfig(4, 2)
+        got = simulate(
+            cube_dag_mc, cluster, scheduler=scheduler, engine=engine
+        )
+        want = simulate_ref(cube_dag_mc, cluster, scheduler=scheduler)
+        assert trace_differences(got, want) == []
+
+    @pytest.mark.parametrize("cores", [1, 3, None])
+    def test_comm_model(self, cube_dag_mc, cores):
+        comm = CommModel(latency=0.05, bandwidth=32.0)
+        cluster = ClusterConfig(4, cores)
+        for engine in ("scalar", "batched"):
+            got = simulate(
+                cube_dag_mc, cluster, comm=comm, engine=engine
+            )
+            want = simulate_ref(cube_dag_mc, cluster, comm=comm)
+            assert trace_differences(got, want) == []
+
+    def test_random_scheduler_seeded(self, cube_dag_sc):
+        cluster = ClusterConfig(4, 2)
+        got = simulate(cube_dag_sc, cluster, scheduler="random", seed=11)
+        want = simulate_ref(cube_dag_sc, cluster, scheduler="random", seed=11)
+        assert trace_differences(got, want) == []
+
+    def test_durations_override(self, cube_dag_mc):
+        rng = np.random.default_rng(5)
+        dur = rng.uniform(0.1, 4.0, cube_dag_mc.num_tasks)
+        cluster = ClusterConfig(4, 2)
+        got = simulate(cube_dag_mc, cluster, durations=dur)
+        want = simulate_ref(cube_dag_mc, cluster, durations=dur)
+        assert trace_differences(got, want) == []
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_durations(self, cube_dag_mc, bad):
+        dur = np.ones(cube_dag_mc.num_tasks)
+        dur[7] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            simulate(cube_dag_mc, ClusterConfig(4, 1), durations=dur)
+
+    def test_rejects_unknown_engine(self, cube_dag_mc):
+        with pytest.raises(ValueError, match="engine"):
+            simulate(cube_dag_mc, ClusterConfig(4, 1), engine="warp")
+
+    def test_trace_differences_detects_perturbation(self, cube_dag_mc):
+        cluster = ClusterConfig(4, 2)
+        a = simulate(cube_dag_mc, cluster)
+        b = simulate(cube_dag_mc, cluster)
+        b.end[0] += 1.0
+        diffs = trace_differences(a, b)
+        assert diffs and "end" in diffs[0]
+
+
+class TestArrayFifoQueue:
+    def test_fifo_order_matches_heap_queue(self):
+        heap, arr = FifoQueue(), ArrayFifoQueue()
+        for i, t in enumerate([5, 3, 9, 1]):
+            heap.push(t, float(i))
+            arr.push(t, float(i))
+        assert len(heap) == len(arr) == 4
+        assert [heap.pop() for _ in range(4)] == [
+            arr.pop() for _ in range(4)
+        ] == [5, 3, 9, 1]
+        assert len(arr) == 0

@@ -1,14 +1,16 @@
-"""Quick perf regression check against the tracked baseline.
+"""Quick perf regression check against the tracked baselines.
 
 Deselected by default (timing assertions are load-sensitive); run
 explicitly with::
 
     PYTHONPATH=src python -m pytest -m perf_smoke
 
-Re-measures the HEM/FM fast paths at the ``smoke`` benchmark size
-(~15 s total) and fails if any of them got more than 3x slower than
-the committed ``BENCH_partitioner.json`` — i.e. if a change threw away
-the fast-path speedups this file guards.
+Re-measures every perf suite's fast paths at the ``smoke`` benchmark
+size and fails if any got more than 3x slower than the matching
+committed baseline (``BENCH_partitioner.json``,
+``BENCH_taskgraph.json``, ``BENCH_flusim.json``) or lost more than 20%
+of its fast-over-reference speedup ratio — i.e. if a change threw away
+the speedups these files guard.
 """
 
 from __future__ import annotations
@@ -18,27 +20,30 @@ import time
 
 import pytest
 
-from repro.perf import compare_results, load_baseline, run_benchmarks
+from repro.perf import SUITES, compare_results, load_baseline
 
-BASELINE = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_partitioner.json",
-)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 pytestmark = pytest.mark.perf_smoke
 
 
-@pytest.fixture(scope="module")
-def baseline():
-    if not os.path.exists(BASELINE):
-        pytest.skip("no BENCH_partitioner.json baseline")
-    return load_baseline(BASELINE)
+def _baseline(suite: str) -> dict:
+    path = os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
+    if not os.path.exists(path):
+        pytest.skip(f"no BENCH_{suite}.json baseline")
+    return load_baseline(path)
 
 
-def test_smoke_fast_paths_not_regressed(baseline):
+@pytest.mark.parametrize("suite", sorted(SUITES))
+def test_smoke_fast_paths_not_regressed(suite):
+    baseline = _baseline(suite)
     t0 = time.perf_counter()
     current = {
-        "cases": {"smoke": run_benchmarks(size="smoke", repeats=2, seed=3)}
+        "cases": {
+            "smoke": SUITES[suite].run_benchmarks(
+                size="smoke", repeats=2, seed=3
+            )
+        }
     }
     elapsed = time.perf_counter() - t0
     problems = compare_results(baseline, current, threshold=3.0)
@@ -47,12 +52,28 @@ def test_smoke_fast_paths_not_regressed(baseline):
     assert elapsed < 30.0, f"smoke benchmark took {elapsed:.1f} s (>30 s)"
 
 
-def test_smoke_fast_paths_still_faster_than_seed(baseline):
-    # The recorded baseline itself must show the fast paths winning —
-    # guards against regenerating BENCH_partitioner.json from a tree
+def test_partitioner_baseline_still_faster_than_seed():
+    # The recorded baselines themselves must show the fast paths
+    # winning — guards against regenerating a BENCH_*.json from a tree
     # where the optimizations are disabled.
+    baseline = _baseline("partitioner")
     for kernel in ("hem", "fm"):
         for mode in ("sc", "mc_tl"):
             entry = baseline["cases"]["smoke"][kernel][mode]
             assert entry["speedup"] > 1.0, (kernel, mode, entry)
     assert baseline["cases"]["full"]["combined"]["mc_tl"]["speedup"] >= 3.0
+
+
+def test_taskgraph_baseline_still_faster_than_seed():
+    baseline = _baseline("taskgraph")
+    for scheme in ("euler", "heun"):
+        entry = baseline["cases"]["full"]["generate"][scheme]
+        assert entry["speedup"] >= 3.0, (scheme, entry)
+
+
+def test_flusim_baseline_still_faster_than_seed():
+    baseline = _baseline("flusim")
+    sim = baseline["cases"]["full"]["simulate"]
+    assert sim["eager"]["speedup"] >= 2.0, sim["eager"]
+    for name, entry in sim.items():
+        assert entry["speedup"] > 1.0, (name, entry)
