@@ -27,7 +27,14 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.perf import SUITES, compare_results, load_baseline, save_baseline  # noqa: E402
+from repro.perf import (  # noqa: E402
+    EXTRA_SUITES,
+    SUITES,
+    compare_results,
+    get_suite,
+    load_baseline,
+    save_baseline,
+)
 from repro.perf.common import conservative_min  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -41,9 +48,10 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
         "--suite",
-        choices=[*SUITES, "all"],
+        choices=[*SUITES, *EXTRA_SUITES, "all"],
         default="all",
-        help="which perf suite(s) to run",
+        help="which perf suite(s) to run ('all' = the cheap default "
+        "suites; the scale chain must be requested by name)",
     )
     ap.add_argument("--size", choices=["smoke", "full", "both"], default="both")
     ap.add_argument("--repeats", type=int, default=3)
@@ -55,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=1.2,
         help="speedup-ratio drop factor that counts as a regression",
+    )
+    ap.add_argument(
+        "--rss-ratio",
+        type=float,
+        default=2.0,
+        help="loose memory gate: fail if the suite's peak RSS exceeds "
+        "this multiple of the baseline envelope's peak_rss_mib",
     )
     ap.add_argument(
         "--save-dir",
@@ -80,9 +95,9 @@ def main(argv: list[str] | None = None) -> int:
     sizes = ("smoke", "full") if args.size == "both" else (args.size,)
     rc = 0
     for name in suites:
-        mod = SUITES[name]
+        mod = get_suite(name)
         kwargs = dict(repeats=args.repeats, seed=args.seed)
-        if name == "partitioner":
+        if name in ("partitioner", "scale"):
             kwargs["n_jobs"] = args.jobs
         result = mod.run_suite(sizes, **kwargs)
         if args.update and args.update_runs > 1:
@@ -119,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             result,
             threshold=args.threshold,
             speedup_drop=args.speedup_drop,
+            rss_ratio=args.rss_ratio,
         )
         if problems:
             for msg in problems:

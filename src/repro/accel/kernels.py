@@ -1,0 +1,247 @@
+"""Nopython-compatible kernels for the compiled tier.
+
+Every function here is plain scalar Python over NumPy arrays — no
+object-mode constructs — so it runs identically interpreted (no Numba)
+or ``njit``-compiled.  Each kernel mirrors, operation for operation,
+the float arithmetic of its reference path:
+
+* :func:`fm_unit_pass` — one FM pass of the unit-edge-weight /
+  one-hot-constraint fast path of :func:`repro.graph.refine.fm_refine`
+  (gain buckets as array-backed FIFO linked lists, lazy deletion,
+  hill-climb bookkeeping and tail rollback included);
+* :func:`hem_tail_match` — the greedy tail matcher of
+  :func:`repro.graph.coarsen.heavy_edge_matching` (candidates arrive
+  pre-permuted so RNG consumption is unchanged);
+* :func:`flusim_release` — the sequential per-edge successor release
+  of the FLUSIM batched engine (releasing a duplicate edge at its
+  last occurrence, exactly like the vectorized dedup-keep-last).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import maybe_jit
+
+__all__ = ["fm_unit_pass", "hem_tail_match", "flusim_release"]
+
+
+@maybe_jit
+def fm_unit_pass(
+    xadj,
+    adjncy,
+    part,
+    col,
+    wcol,
+    ideg,
+    edeg,
+    pw,
+    inv,
+    bverts,
+    maxdeg,
+    tol,
+    cur_cut,
+    budget,
+    early_stop,
+    locked,
+    moves,
+    touched,
+    bhead,
+    btail,
+    nxt,
+    slot_val,
+):
+    """One bucket-queue FM pass over a feasible one-hot bisection.
+
+    Mutates ``part/ideg/edeg/pw/locked`` in place (rollback included);
+    fills ``moves``/``touched`` prefixes.  ``bhead``/``btail`` must
+    arrive filled with -1; ``nxt``/``slot_val`` are the FIFO node pool
+    (capacity >= len(bverts) + len(adjncy)).
+
+    Returns ``(cur_cut, n_moves, n_touched, best_prefix)``.
+    """
+    off = maxdeg
+    gmax = -1
+    nslots = 0
+    for bi in range(bverts.shape[0]):
+        v = bverts[bi]
+        gi = int(edeg[v] - ideg[v]) + off
+        slot_val[nslots] = v
+        nxt[nslots] = -1
+        if btail[gi] >= 0:
+            nxt[btail[gi]] = nslots
+        else:
+            bhead[gi] = nslots
+        btail[gi] = nslots
+        nslots += 1
+        if gi > gmax:
+            gmax = gi
+
+    best_cut = cur_cut
+    n_moves = 0
+    n_touched = 0
+    best_prefix = 0
+    while budget > 0:
+        while gmax >= 0 and bhead[gmax] < 0:
+            gmax -= 1
+        if gmax < 0:
+            break
+        s0 = bhead[gmax]
+        v = slot_val[s0]
+        bhead[gmax] = nxt[s0]
+        if nxt[s0] < 0:
+            btail[gmax] = -1
+        gain = edeg[v] - ideg[v]
+        # Lazy deletion: stale gain, locked, or interior vertex.
+        if locked[v] == 1 or gain + off != gmax or edeg[v] <= 0.0:
+            continue
+        src_p = part[v]
+        dst_p = 1 - src_p
+        c = col[v]
+        w = wcol[v]
+        # One-hot admissibility: only constraint c changes; the pass
+        # starts feasible, so checking the two new ratios is exact.
+        if (pw[src_p, c] - w) * inv[src_p, c] > tol or (
+            pw[dst_p, c] + w
+        ) * inv[dst_p, c] > tol:
+            continue
+        locked[v] = 1
+        part[v] = dst_p
+        pw[src_p, c] -= w
+        pw[dst_p, c] += w
+        cur_cut -= gain
+        tmp = ideg[v]
+        ideg[v] = edeg[v]
+        edeg[v] = tmp
+        moves[n_moves] = v
+        n_moves += 1
+        budget -= 1
+        for idx in range(xadj[v], xadj[v + 1]):
+            u = adjncy[idx]
+            touched[n_touched] = u
+            n_touched += 1
+            if part[u] == dst_p:
+                ideg[u] += 1.0
+                edeg[u] -= 1.0
+            else:
+                ideg[u] -= 1.0
+                edeg[u] += 1.0
+            if locked[u] == 0 and edeg[u] > 0.0:
+                gi = int(edeg[u] - ideg[u]) + off
+                slot_val[nslots] = u
+                nxt[nslots] = -1
+                if btail[gi] >= 0:
+                    nxt[btail[gi]] = nslots
+                else:
+                    bhead[gi] = nslots
+                btail[gi] = nslots
+                nslots += 1
+                if gi > gmax:
+                    gmax = gi
+        # Every reachable state is feasible, so "better" reduces to a
+        # strict cut improvement (matches the reference's logic with
+        # feasible_now == feasible_best == True).
+        if cur_cut < best_cut - 1e-12:
+            best_cut = cur_cut
+            best_prefix = n_moves
+        elif n_moves - best_prefix > early_stop:
+            break
+
+    # Roll back the tail beyond the best prefix.
+    for mi in range(n_moves - 1, best_prefix - 1, -1):
+        v = moves[mi]
+        src_p = part[v]
+        dst_p = 1 - src_p
+        part[v] = dst_p
+        c = col[v]
+        w = wcol[v]
+        pw[src_p, c] -= w
+        pw[dst_p, c] += w
+        cur_cut -= edeg[v] - ideg[v]
+        tmp = ideg[v]
+        ideg[v] = edeg[v]
+        edeg[v] = tmp
+        for idx in range(xadj[v], xadj[v + 1]):
+            u = adjncy[idx]
+            if part[u] == dst_p:
+                ideg[u] += 1.0
+                edeg[u] -= 1.0
+            else:
+                ideg[u] -= 1.0
+                edeg[u] += 1.0
+    return cur_cut, n_moves, n_touched, best_prefix
+
+
+@maybe_jit
+def hem_tail_match(xadj, adjncy, adjwgt, vwgt, match, cand_perm, multi):
+    """Greedy heavy-edge tail matching over pre-permuted candidates.
+
+    ``vwgt`` must be float64 (the caller upcasts narrowed graphs, as
+    the reference does).  Mutates ``match`` in place.
+    """
+    ncon = vwgt.shape[1]
+    for ci in range(cand_perm.shape[0]):
+        v = cand_perm[ci]
+        if match[v] != v:
+            continue
+        best = -1
+        best_w = -np.inf
+        best_spread = np.inf
+        for idx in range(xadj[v], xadj[v + 1]):
+            u = adjncy[idx]
+            if match[u] != u or u == v:
+                continue
+            w = float(adjwgt[idx])
+            if multi:
+                if w > best_w + 1e-12:
+                    cmax = -np.inf
+                    cmin = np.inf
+                    for cc in range(ncon):
+                        s = vwgt[v, cc] + vwgt[u, cc]
+                        if s > cmax:
+                            cmax = s
+                        if s < cmin:
+                            cmin = s
+                    best = u
+                    best_w = w
+                    best_spread = cmax - cmin
+                elif w > best_w - 1e-12:
+                    cmax = -np.inf
+                    cmin = np.inf
+                    for cc in range(ncon):
+                        s = vwgt[v, cc] + vwgt[u, cc]
+                        if s > cmax:
+                            cmax = s
+                        if s < cmin:
+                            cmin = s
+                    spread = cmax - cmin
+                    if spread < best_spread:
+                        best = u
+                        best_w = w
+                        best_spread = spread
+            else:
+                if w > best_w:
+                    best = u
+                    best_w = w
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+    return 0
+
+
+@maybe_jit
+def flusim_release(indeg, succ, out):
+    """Sequential in-degree decrement over one successor slice.
+
+    Appends every task whose in-degree reaches zero to ``out`` (at its
+    *last* duplicate occurrence — identical to the batched engine's
+    dedup-keep-last).  Returns the released count.
+    """
+    cnt = 0
+    for si in range(succ.shape[0]):
+        u = succ[si]
+        indeg[u] -= 1
+        if indeg[u] == 0:
+            out[cnt] = u
+            cnt += 1
+    return cnt

@@ -20,8 +20,9 @@ Commands
     Generate a replica mesh, print its summary, optionally save it.
 ``bench``
     Run the hot-path microbenchmark suites (``--suite partitioner``,
-    ``taskgraph``, ``flusim`` or ``all``); optionally compare against
-    (or update) the matching committed ``BENCH_<suite>.json`` baseline.
+    ``taskgraph``, ``flusim``, the opt-in paper-scale ``scale`` chain,
+    or ``all``); optionally compare against (or update) the matching
+    committed ``BENCH_<suite>.json`` baseline.
 ``campaign``
     Run a multi-iteration solver campaign with optional physics
     guards, fault injection, checkpointing and resume.
@@ -217,13 +218,15 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import SUITES, compare_results, load_baseline, save_baseline
+    from .perf import SUITES, compare_results, get_suite, load_baseline, save_baseline
 
     _apply_artifacts(args)
     if args.compare and not os.path.exists(args.compare):
         print(f"no baseline at {args.compare}", file=sys.stderr)
         return 2
 
+    # "all" expands to the cheap default suites only; the scale suite
+    # (minutes, 1M+-cell meshes) must be requested by name.
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     if len(suites) > 1 and (args.output or args.compare):
         print(
@@ -236,9 +239,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     sizes = ("smoke", "full") if args.size == "both" else (args.size,)
     rc = 0
     for name in suites:
-        mod = SUITES[name]
+        mod = get_suite(name)
         kwargs = dict(repeats=args.repeats, seed=args.seed)
-        if name == "partitioner":
+        if name in ("partitioner", "scale"):
             kwargs["n_jobs"] = args.jobs
         result = mod.run_suite(sizes, **kwargs)
         print(f"== {name} ==")
@@ -495,9 +498,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=["partitioner", "taskgraph", "flusim", "all"],
+        choices=["partitioner", "taskgraph", "flusim", "scale", "all"],
         default="partitioner",
-        help="which perf suite(s) to run",
+        help="which perf suite(s) to run ('all' excludes the "
+        "minutes-long scale suite; ask for it by name)",
     )
     p.add_argument(
         "--size", choices=["smoke", "full", "both"], default="full"

@@ -17,6 +17,16 @@
   deterministic, internally consistent (incremental cut == recomputed
   cut) and never worse than the oracle on both cut and worst
   imbalance beyond small slack;
+* **mixed-dtype differentials** — every graph case is re-partitioned
+  from a narrowed storage copy (int32 ``adjncy``, float32
+  ``vwgt``/``adjwgt`` holding the exact same values) and the labels
+  must be bit-identical to the wide int64/float64 path — the
+  equivalence gate behind the scale tier's index/weight narrowing;
+* **kernel-tier differentials** — the compiled-tier kernels
+  (:mod:`repro.accel`: FM unit pass, HEM greedy tail, FLUSIM release)
+  are forced on via ``compiled=True`` (interpreted when Numba is
+  absent — same code path, minus the JIT) and must reproduce the
+  reference paths bit for bit;
 * **DAG checks** — every mesh decomposition is expanded into Euler and
   Heun task graphs and audited with
   :func:`repro.taskgraph.verify.verify_dag`;
@@ -130,6 +140,14 @@ def _check_matching(
     again = heavy_edge_matching(g, np.random.default_rng(seed))
     if not np.array_equal(fast, again):
         fail("hem-determinism", "same seed produced different matchings")
+    forced = heavy_edge_matching(
+        g, np.random.default_rng(seed), compiled=True
+    )
+    if not np.array_equal(fast, forced):
+        fail(
+            "hem-compiled",
+            "compiled-tier greedy tail diverged from the NumPy path",
+        )
     wf, wr = _matched_weight(g, fast), _matched_weight(g, ref)
     if wr > 0 and wf < 0.8 * wr:
         fail(
@@ -175,6 +193,23 @@ def _check_fm(
     again, again_cut, _ = run(fm_refine)
     if not np.array_equal(fast, again) or again_cut != fast_cut:
         fail("fm-determinism", "same seed produced different refinements")
+    try:
+        forced = fm_refine(
+            g,
+            part0.copy(),
+            imbalance_tol=tol,
+            rng=np.random.default_rng(seed),
+            check_cut=True,
+            compiled=True,
+        )
+    except PartitionError as exc:
+        fail("fm-compiled-internal", f"check_cut tripped: {exc}")
+    else:
+        if not np.array_equal(fast, forced):
+            fail(
+                "fm-compiled",
+                "compiled-tier unit pass diverged from the NumPy path",
+            )
     # FM keeps the best prefix: it must never leave the partition worse
     # than it started on *both* axes.
     if fast_cut > cut0 + 1e-9 and fast_imb > imb0 + 1e-9:
@@ -191,6 +226,63 @@ def _check_fm(
         fail(
             "fm-vs-reference",
             f"fast cut {fast_cut:g} ≫ reference cut {ref_cut:g}",
+        )
+
+
+def _check_dtype_paths(
+    report: FuzzReport,
+    seed: int,
+    case: str,
+    g: CSRGraph,
+    nparts: int,
+) -> None:
+    """Differential: narrowed (int32/float32) vs wide (int64/float64)
+    storage must produce bit-identical labels.
+
+    Both copies hold the *same values* — the weights are rounded
+    through float32 first — so any divergence means a kernel scored or
+    accumulated in storage precision instead of promoting to float64,
+    exactly the failure mode the narrowing tier must not introduce.
+    """
+    if g.num_vertices < 1 or nparts < 1 or nparts > g.num_vertices:
+        return
+    report.differential_checks += 1
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(seed, case, check, detail))
+
+    vw32 = np.asarray(g.vwgt, dtype=np.float32)
+    aw32 = np.asarray(g.adjwgt, dtype=np.float32)
+    wide = CSRGraph(
+        g.xadj.astype(np.int64),
+        g.adjncy.astype(np.int64),
+        vwgt=vw32.astype(np.float64),
+        adjwgt=aw32.astype(np.float64),
+    )
+    narrow = CSRGraph(
+        g.xadj.astype(np.int64),
+        g.adjncy.astype(np.int32),
+        vwgt=vw32,
+        adjwgt=aw32,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            res_w = partition_graph(wide, nparts, seed=seed)
+            res_n = partition_graph(narrow, nparts, seed=seed)
+        except (ValueError, PartitionError):
+            return  # rejection behaviour is the contract stage's job
+    if not np.array_equal(res_w.part, res_n.part):
+        fail(
+            "dtype-labels",
+            f"narrowed labels diverged from wide path (nparts={nparts}, "
+            f"wide cut {res_w.cut:g}, narrow cut {res_n.cut:g})",
+        )
+    if res_n.dtypes.get("adjncy") != "int32":
+        fail(
+            "dtype-provenance",
+            "narrowed run recorded adjncy dtype "
+            f"{res_n.dtypes.get('adjncy')!r}, expected 'int32'",
         )
 
 
@@ -261,6 +353,14 @@ def _fuzz_graph_case(report: FuzzReport, seed: int, case: GraphCase) -> None:
     name = f"graph:{case.name}"
     for nparts in case.nparts:
         _check_partition_result(report, seed, name, case.graph, nparts)
+    if case.nparts:
+        _check_dtype_paths(
+            report,
+            seed,
+            name,
+            case.graph,
+            case.nparts[seed % len(case.nparts)],
+        )
     if case.graph.num_vertices <= 400:
         _check_matching(report, seed, name, case.graph)
         _check_fm(report, seed, name, case.graph)
@@ -319,6 +419,18 @@ def _check_downstream(
                 f"-{'comm' if comm else 'nocomm'}",
                 "; ".join(diffs[:3]),
             )
+
+    # Compiled tier: the batched engine with the release kernel forced
+    # on (interpreted when Numba is absent) must stay bit-identical.
+    report.differential_checks += 1
+    got = simulate(
+        dag, cluster, scheduler=scheduler, seed=seed,
+        engine="batched", compiled=True,
+    )
+    want = simulate_ref(dag, cluster, scheduler=scheduler, seed=seed)
+    diffs = trace_differences(got, want)
+    if diffs:
+        fail(f"flusim-{scheduler}-batched-compiled", "; ".join(diffs[:3]))
 
 
 def _fuzz_mesh_case(report: FuzzReport, seed: int, case: MeshCase) -> None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..accel import kernels_active
 from .csr import CSRGraph
 
 __all__ = ["CoarseningLevel", "heavy_edge_matching", "contract", "coarsen_once"]
@@ -72,14 +73,36 @@ def _matching_fallback(
     candidates: np.ndarray,
     rng: np.random.Generator,
     multi: bool,
+    compiled: bool | None = None,
 ) -> None:
     """Greedy per-vertex matching over the remaining ``candidates``.
 
     Invoked on the small tail left after the vectorized proposal rounds
     (or when a round makes no progress on an adversarial tie pattern);
     guarantees termination with the same semantics as the seed loop.
+    The kernel tier (see :mod:`repro.accel`) runs the identical greedy
+    loop compiled; both paths consume the same single RNG permutation.
     """
     xadj, adjncy, adjwgt, vwgt = g.xadj, g.adjncy, g.adjwgt, g.vwgt
+    if vwgt.dtype != np.float64:
+        # Compare spreads in float64 so narrowed graphs match the wide
+        # path bit for bit.
+        vwgt = vwgt.astype(np.float64)
+    if kernels_active(compiled) and len(candidates):
+        from ..accel.kernels import hem_tail_match
+
+        hem_tail_match(
+            xadj.astype(np.int64, copy=False),
+            adjncy.astype(np.int64, copy=False),
+            adjwgt.astype(np.float64, copy=False),
+            np.ascontiguousarray(vwgt),
+            match,
+            candidates[rng.permutation(len(candidates))].astype(
+                np.int64, copy=False
+            ),
+            multi,
+        )
+        return
     for v in candidates[rng.permutation(len(candidates))]:
         if match[v] != v:
             continue
@@ -90,7 +113,7 @@ def _matching_fallback(
             u = adjncy[idx]
             if match[u] != u or u == v:
                 continue
-            w = adjwgt[idx]
+            w = float(adjwgt[idx])
             if multi:
                 if w > best_w + 1e-12:
                     combined = vwgt[v] + vwgt[u]
@@ -114,6 +137,7 @@ def heavy_edge_matching(
     rng: np.random.Generator,
     *,
     balance_constraints: bool = True,
+    compiled: bool | None = None,
 ) -> np.ndarray:
     """Compute a heavy-edge matching (vectorized).
 
@@ -148,9 +172,16 @@ def heavy_edge_matching(
     # geometrically and the total work stays O(m).
     e_src = g.edge_sources()
     e_dst = g.adjncy
+    # Scoring runs in float64 even on narrowed graphs, so float32
+    # storage yields the exact same matching as the wide path.
     e_w = g.adjwgt
+    if e_w.dtype != np.float64:
+        e_w = e_w.astype(np.float64)
     if multi:
-        combined = g.vwgt[e_src] + g.vwgt[e_dst]
+        vw = g.vwgt
+        if vw.dtype != np.float64:
+            vw = vw.astype(np.float64)
+        combined = vw[e_src] + vw[e_dst]
         e_spread = combined.max(axis=1) - combined.min(axis=1)
     else:
         e_spread = None
@@ -225,7 +256,9 @@ def heavy_edge_matching(
                 e_spread = e_spread[keep]
     if len(e_src):
         # Unmatched vertices that still have unmatched neighbours.
-        _matching_fallback(g, match, np.unique(e_src), rng, multi)
+        _matching_fallback(
+            g, match, np.unique(e_src), rng, multi, compiled=compiled
+        )
     return match
 
 
@@ -271,6 +304,10 @@ def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
     xadj = np.zeros(nc + 1, dtype=np.int64)
     xadj[1:] = np.bincount(gsrc, minlength=nc)
     np.cumsum(xadj, out=xadj)
+    # Indices stay narrowed on int32 graphs; the summed coarse weights
+    # stay float64 in all cases so both storage widths see the exact
+    # same hierarchy.
+    gdst = gdst.astype(g.adjncy.dtype, copy=False)
     coarse = CSRGraph(xadj, gdst, vwgt=cvwgt, adjwgt=gw)
     return CoarseningLevel(graph=coarse, cmap=cmap)
 
@@ -280,7 +317,14 @@ def coarsen_once(
     rng: np.random.Generator,
     *,
     balance_constraints: bool = True,
+    compiled: bool | None = None,
 ) -> CoarseningLevel:
     """One coarsening step: heavy-edge matching followed by contraction."""
-    match = heavy_edge_matching(g, rng, balance_constraints=balance_constraints)
+    # Forward ``compiled`` only when explicitly set: the hot-path tests
+    # monkeypatch ``heavy_edge_matching`` with the seed oracle, whose
+    # signature predates the kernel tier.
+    kwargs = {} if compiled is None else {"compiled": compiled}
+    match = heavy_edge_matching(
+        g, rng, balance_constraints=balance_constraints, **kwargs
+    )
     return contract(g, match)

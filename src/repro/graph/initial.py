@@ -86,16 +86,17 @@ def greedy_graph_growing(
             u = g.adjncy[idx]
             if part[u] == 0:
                 continue
-            w = g.adjwgt[idx]
             # Recompute u's gain: edges to part0 minus edges to part1.
+            # Accumulate in float64 via Python floats so narrowed
+            # (float32) edge weights give bit-identical gains.
             to0 = 0.0
             to1 = 0.0
             for j in range(g.xadj[u], g.xadj[u + 1]):
                 t = g.adjncy[j]
                 if part[t] == 0:
-                    to0 += g.adjwgt[j]
+                    to0 += float(g.adjwgt[j])
                 else:
-                    to1 += g.adjwgt[j]
+                    to1 += float(g.adjwgt[j])
             push(u, to0 - to1)
 
     grow(seed)

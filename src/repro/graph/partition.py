@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -65,6 +70,33 @@ def _resolve_n_jobs(n_jobs: int | str | None) -> int:
     return max(1, n_jobs)
 
 
+#: Below this many vertices a process pool's fork/attach overhead
+#: outweighs the GIL relief; ``executor="auto"`` keeps threads.
+_PROCESS_MIN_VERTICES = 200_000
+
+
+def _resolve_executor(executor: str | None, num_vertices: int) -> str:
+    """Normalize the parallel-backend knob to ``"thread"`` or
+    ``"process"``.
+
+    ``None``/``"auto"`` picks processes only for graphs large enough
+    (>= ``_PROCESS_MIN_VERTICES`` vertices) to amortize the shared
+    segment setup; the environment-level default lives in
+    :func:`repro.pipeline.jobs.resolve_executor`.
+    """
+    if executor is None:
+        executor = "auto"
+    executor = executor.lower()
+    if executor == "auto":
+        return "process" if num_vertices >= _PROCESS_MIN_VERTICES else "thread"
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r} (expected 'auto', 'thread' "
+            "or 'process')"
+        )
+    return executor
+
+
 @dataclass
 class PartitionResult:
     """Outcome of a partitioning call.
@@ -92,6 +124,14 @@ class PartitionResult:
         Contract violations of the *final* labels (empty for a clean
         result; populated only when every fallback rung still failed
         some check and the least-bad result was returned).
+    dtypes:
+        Storage-dtype provenance of the run: the dtypes of the input
+        graph's ``adjncy``/``vwgt``/``adjwgt`` and of the returned
+        labels, e.g. ``{"adjncy": "int32", ...}``.  Records whether
+        the scale tier's index/weight narrowing was in effect — the
+        narrowed and wide paths produce bit-identical labels (enforced
+        by the fuzz differential stage), so this is provenance, not a
+        behavioural switch.
     """
 
     part: np.ndarray
@@ -100,6 +140,7 @@ class PartitionResult:
     imbalance: np.ndarray
     provenance: str = "primary"
     violations: tuple[str, ...] = field(default_factory=tuple)
+    dtypes: dict[str, str] = field(default_factory=dict)
 
 
 def _repair_split(
@@ -122,6 +163,54 @@ def _repair_split(
     return left, right
 
 
+def _shared_bisect_node(
+    desc: dict,
+    vertices: np.ndarray,
+    first: int,
+    k: int,
+    node_rng: np.random.Generator,
+    level_tol: float,
+    max_passes: int,
+    init_trials: int,
+):
+    """Process-pool worker: one bisection-tree node against the shared
+    segment.
+
+    The task payload is the descriptor plus the vertex subset — never
+    the graph itself.  Returns ``(leaves, tasks, attach_event)`` where
+    ``leaves`` are final ``(vertices, label)`` assignments for the
+    parent to apply, ``tasks`` are the two child subproblems, and
+    ``attach_event`` is ``(pid, segment_name)`` when this call was the
+    process's first and actually attached the segment.
+    """
+    from .shared import attached_graph
+
+    g, fresh = attached_graph(desc)
+    event = (os.getpid(), desc["name"]) if fresh else None
+    if k <= 1:
+        return [(vertices, first)], [], event
+    k0 = (k + 1) // 2
+    k1 = k - k0
+    sub, mapping = g.subgraph(vertices)
+    labels = multilevel_bisect(
+        sub,
+        k0 / k,
+        node_rng,
+        imbalance_tol=level_tol,
+        max_passes=max_passes,
+        init_trials=init_trials,
+    )
+    left = mapping[labels == 0]
+    right = mapping[labels == 1]
+    left, right = _repair_split(left, right, k0, k1)
+    r_left, r_right = node_rng.spawn(2)
+    return (
+        [],
+        [(left, first, k0, r_left), (right, first + k0, k1, r_right)],
+        event,
+    )
+
+
 def recursive_bisection(
     g: CSRGraph,
     nparts: int,
@@ -131,6 +220,8 @@ def recursive_bisection(
     max_passes: int = 8,
     init_trials: int = 8,
     n_jobs: int | None = 1,
+    executor: str | None = None,
+    attach_log: list | None = None,
 ) -> np.ndarray:
     """Recursive-bisection partitioning (the paper's method of choice).
 
@@ -139,10 +230,18 @@ def recursive_bisection(
     ``ceil(k/2)/k`` of every constraint's weight.
 
     With ``n_jobs > 1`` the two halves produced by each split — which
-    are fully independent subproblems — are dispatched to a thread
+    are fully independent subproblems — are dispatched to a worker
     pool.  Every tree node then draws from its own generator, spawned
     deterministically from its parent's, so the result depends only on
-    ``rng``'s seed, not on scheduling order or worker count.
+    ``rng``'s seed, not on scheduling order, worker count or backend.
+
+    ``executor`` selects the pool backend: ``"thread"`` (shared
+    address space), ``"process"`` (GIL-free; the graph is published
+    once through :class:`~repro.graph.shared.SharedCSR` and workers
+    attach rather than unpickle it), or ``"auto"``/``None`` (threads
+    below ~200k vertices, processes above).  ``attach_log``, when a
+    list, collects ``(pid, segment_name)`` events proving workers
+    attached the shared segment.
     """
     n = g.num_vertices
     part = np.zeros(n, dtype=np.int32)
@@ -215,6 +314,51 @@ def recursive_bisection(
             (right, first + k0, k1, r_right),
         ]
 
+    if _resolve_executor(executor, n) == "process":
+        from .shared import SharedCSR
+
+        scsr = SharedCSR.from_graph(g)
+        try:
+            desc = scsr.descriptor()
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                pending = {
+                    pool.submit(
+                        _shared_bisect_node,
+                        desc,
+                        np.arange(n, dtype=np.int64),
+                        0,
+                        nparts,
+                        rng,
+                        level_tol,
+                        max_passes,
+                        init_trials,
+                    )
+                }
+                while pending:
+                    done, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        leaves, tasks, event = fut.result()
+                        if event is not None and attach_log is not None:
+                            attach_log.append(event)
+                        for vertices, label in leaves:
+                            part[vertices] = label
+                        for task in tasks:
+                            pending.add(
+                                pool.submit(
+                                    _shared_bisect_node,
+                                    desc,
+                                    *task,
+                                    level_tol,
+                                    max_passes,
+                                    init_trials,
+                                )
+                            )
+        finally:
+            scsr.unlink()
+        return part
+
     with ThreadPoolExecutor(max_workers=n_jobs) as pool:
         pending = {
             pool.submit(
@@ -237,6 +381,7 @@ def kway_direct(
     imbalance_tol: float = 1.05,
     max_passes: int = 8,
     n_jobs: int | None = 1,
+    executor: str | None = None,
 ) -> np.ndarray:
     """Direct k-way partitioning via recursive bisection followed by a
     round of pairwise k-way FM sweeps between adjacent parts.
@@ -253,6 +398,7 @@ def kway_direct(
         imbalance_tol=imbalance_tol,
         max_passes=max_passes,
         n_jobs=n_jobs,
+        executor=executor,
     )
     if nparts <= 2:
         return part
@@ -303,6 +449,7 @@ def _run_method(
     max_passes: int,
     init_trials: int,
     n_jobs: int | None,
+    executor: str | None = None,
 ) -> np.ndarray:
     rng = np.random.default_rng(seed)
     if method == "recursive":
@@ -314,6 +461,7 @@ def _run_method(
             max_passes=max_passes,
             init_trials=init_trials,
             n_jobs=n_jobs,
+            executor=executor,
         )
     if method == "kway":
         return kway_direct(
@@ -323,6 +471,7 @@ def _run_method(
             imbalance_tol=imbalance_tol,
             max_passes=max_passes,
             n_jobs=n_jobs,
+            executor=executor,
         )
     raise ValueError(f"unknown method {method!r}")
 
@@ -339,6 +488,7 @@ def _partition_components(
     max_passes: int,
     init_trials: int,
     n_jobs: int | None,
+    executor: str | None = None,
 ) -> np.ndarray:
     """Component-aware partitioning of a disconnected graph.
 
@@ -395,6 +545,7 @@ def _partition_components(
                 max_passes=max_passes,
                 init_trials=init_trials,
                 n_jobs=n_jobs,
+                executor=executor,
             )
             part[mapping] = next_label + labels
         next_label += k
@@ -418,6 +569,7 @@ def partition_graph(
     max_passes: int = 8,
     init_trials: int = 8,
     n_jobs: int | str | None = 1,
+    executor: str | None = None,
     coords: np.ndarray | None = None,
     strict: bool = False,
     validate: bool = True,
@@ -437,9 +589,14 @@ def partition_graph(
         Seed for the deterministic RNG driving matching/initial
         partitioning tie-breaks.
     n_jobs:
-        Worker threads for the independent halves of recursive
-        bisection (``-1`` = one per CPU).  ``n_jobs > 1`` is
-        deterministic for a fixed seed regardless of worker count.
+        Workers for the independent halves of recursive bisection
+        (``-1`` = one per CPU).  ``n_jobs > 1`` is deterministic for a
+        fixed seed regardless of worker count.
+    executor:
+        Pool backend for ``n_jobs > 1``: ``"thread"``, ``"process"``
+        (workers attach one :class:`~repro.graph.shared.SharedCSR`
+        segment instead of unpickling graphs) or ``"auto"``/``None``
+        (processes only at scale).  Does not affect the labels.
     coords:
         Optional ``(n, 2)`` vertex coordinates.  When supplied, the
         space-filling-curve rung of the fallback chain becomes
@@ -484,6 +641,7 @@ def partition_graph(
         max_passes=max_passes,
         init_trials=init_trials,
         n_jobs=n_jobs,
+        executor=executor,
     )
 
     provenance = "primary"
@@ -535,6 +693,12 @@ def partition_graph(
         imbalance=imbalance(g, part, nparts),
         provenance=provenance,
         violations=tuple(violations),
+        dtypes={
+            "adjncy": str(g.adjncy.dtype),
+            "vwgt": str(g.vwgt.dtype),
+            "adjwgt": str(g.adjwgt.dtype),
+            "part": str(part.dtype),
+        },
     )
 
 

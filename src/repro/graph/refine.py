@@ -25,6 +25,7 @@ from collections import deque
 
 import numpy as np
 
+from ..accel import kernels_active
 from ..resilience.errors import PartitionInternalError
 from .csr import CSRGraph
 from .metrics import edge_cut
@@ -88,6 +89,7 @@ def fm_refine(
     rng: np.random.Generator | None = None,
     early_stop: int | None = None,
     check_cut: bool = False,
+    compiled: bool | None = None,
 ) -> np.ndarray:
     """Refine a bisection in place and return it.
 
@@ -110,6 +112,11 @@ def fm_refine(
         Debug flag: assert at the end of every pass that the
         incrementally tracked edge cut agrees with a from-scratch
         recomputation.
+    compiled:
+        Kernel-tier override for the unit-weight/one-hot fast path
+        (see :mod:`repro.accel`); ``None`` consults
+        ``REPRO_COMPILED``.  The kernel is bit-identical to the
+        reference loop.
 
     Implementation note: internal/external degrees and the edge cut are
     computed once and then maintained *incrementally* around each moved
@@ -147,9 +154,6 @@ def fm_refine(
     if early_stop is None:
         early_stop = max(100, n // 64)
 
-    xadj_l: list = g.xadj.tolist()
-    adj_l: list = g.adjncy.tolist()
-
     # Unit edge weights -> integer gains -> FM gain buckets.  The
     # maxdeg guard keeps the per-pass bucket allocation trivial (a
     # pathological star graph would not benefit from buckets anyway).
@@ -170,6 +174,38 @@ def fm_refine(
     one_hot = int(np.count_nonzero(g.vwgt, axis=1).max()) <= 1 if n else True
     if one_hot:
         col = np.argmax(g.vwgt, axis=1)
+
+    # Kernel-tier dispatch (see repro.accel): the bucket/one-hot fast
+    # path starting from a feasible bisection stays feasible after
+    # every admitted move, so a single up-front check covers every
+    # pass and the whole refinement runs inside one nopython kernel.
+    if (
+        use_buckets
+        and one_hot
+        and kernels_active(compiled)
+        and _max_imb(list(pw_arr[0]), list(pw_arr[1]), inv0, inv1)
+        <= imbalance_tol
+    ):
+        return _fm_refine_fast(
+            g,
+            part,
+            pw_arr=pw_arr,
+            inv_arr=np.array([inv0, inv1], dtype=np.float64),
+            col=col.astype(np.int64, copy=False),
+            wcol=g.vwgt[np.arange(n), col].astype(np.float64, copy=False),
+            maxdeg=maxdeg,
+            tol=imbalance_tol,
+            max_passes=max_passes,
+            max_moves_per_pass=max_moves_per_pass,
+            early_stop=early_stop,
+            rng=rng,
+            check_cut=check_cut,
+        )
+
+    xadj_l: list = g.xadj.tolist()
+    adj_l: list = g.adjncy.tolist()
+
+    if one_hot:
         col_l: list = col.tolist()
         wcol_l: list = g.vwgt[np.arange(n), col].tolist()
     # Per-constraint flat columns (much cheaper to build than the
@@ -420,6 +456,107 @@ def fm_refine(
     return part
 
 
+def _fm_refine_fast(
+    g: CSRGraph,
+    part: np.ndarray,
+    *,
+    pw_arr: np.ndarray,
+    inv_arr: np.ndarray,
+    col: np.ndarray,
+    wcol: np.ndarray,
+    maxdeg: int,
+    tol: float,
+    max_passes: int,
+    max_moves_per_pass: int,
+    early_stop: int,
+    rng: np.random.Generator,
+    check_cut: bool,
+) -> np.ndarray:
+    """Kernel-tier FM refinement (unit weights, one-hot, feasible).
+
+    Drives :func:`repro.accel.kernels.fm_unit_pass` once per pass with
+    the exact same RNG consumption, queue discipline and rollback as
+    the reference loop in :func:`fm_refine` — bit-identical labels,
+    an order of magnitude faster when Numba compiles the kernel.
+    """
+    from ..accel.kernels import fm_unit_pass
+
+    n = g.num_vertices
+    m = len(g.adjncy)
+    xadj = g.xadj.astype(np.int64, copy=False)
+    adjncy = g.adjncy.astype(np.int64, copy=False)
+    part64 = part.astype(np.int64)
+
+    ideg, edeg = _degrees(g, part)
+    cur_cut = float(edeg.sum()) / 2.0
+    boundary = np.flatnonzero(edeg > 0)
+
+    # Reused per-pass buffers: move log, neighbour-touch log, FIFO
+    # bucket heads/tails and the append-only node pool (one slot per
+    # initial boundary vertex plus one per neighbour push).
+    locked = np.zeros(n, dtype=np.int64)
+    moves = np.empty(n, dtype=np.int64)
+    touched = np.empty(max(m, 1), dtype=np.int64)
+    bhead = np.empty(2 * maxdeg + 1, dtype=np.int64)
+    btail = np.empty(2 * maxdeg + 1, dtype=np.int64)
+    nxt = np.empty(n + m + 1, dtype=np.int64)
+    slot_val = np.empty(n + m + 1, dtype=np.int64)
+
+    for _ in range(max_passes):
+        if len(boundary) == 0:
+            break
+        bverts = boundary[rng.permutation(len(boundary))].astype(
+            np.int64, copy=False
+        )
+        bhead.fill(-1)
+        btail.fill(-1)
+        locked.fill(0)
+        cur_cut, n_moves, n_touched, best_prefix = fm_unit_pass(
+            xadj,
+            adjncy,
+            part64,
+            col,
+            wcol,
+            ideg,
+            edeg,
+            pw_arr,
+            inv_arr,
+            bverts,
+            maxdeg,
+            tol,
+            cur_cut,
+            max_moves_per_pass,
+            early_stop,
+            locked,
+            moves,
+            touched,
+            bhead,
+            btail,
+            nxt,
+            slot_val,
+        )
+        if check_cut:
+            part[:] = part64
+            ref_cut = edge_cut(g, part)
+            if abs(cur_cut - ref_cut) > 1e-6 * max(1.0, abs(ref_cut)):
+                raise PartitionInternalError(
+                    f"incremental cut {cur_cut} != recomputed {ref_cut}"
+                )
+        if best_prefix == 0:
+            break
+        if n_moves or n_touched:
+            cand = np.unique(
+                np.concatenate(
+                    [boundary, moves[:n_moves], touched[:n_touched]]
+                )
+            )
+            boundary = cand[edeg[cand] > 0]
+        else:
+            boundary = boundary[edeg[boundary] > 0]
+    part[:] = part64
+    return part
+
+
 def rebalance(
     g: CSRGraph,
     part: np.ndarray,
@@ -484,7 +621,10 @@ def rebalance(
         # does not overfill the destination on other constraints).
         best_gain = gains.max()
         top = cand[gains >= best_gain - 1e-12]
-        purity = g.vwgt[top, c] / np.maximum(g.vwgt[top].sum(axis=1), 1e-300)
+        # float64 arithmetic so narrowed (float32) weights pick the
+        # same candidate as the wide path.
+        vtop = g.vwgt[top].astype(np.float64, copy=False)
+        purity = vtop[:, c] / np.maximum(vtop.sum(axis=1), 1e-300)
         v = int(top[np.argmax(purity)])
 
         part[v] = dst_p
@@ -505,6 +645,6 @@ def rebalance(
         # v itself: recompute from neighbours.
         same = part[g.adjncy[g.xadj[v] : g.xadj[v + 1]]] == dst_p
         wv = g.adjwgt[g.xadj[v] : g.xadj[v + 1]]
-        ideg[v] = float(wv[same].sum())
-        edeg[v] = float(wv[~same].sum())
+        ideg[v] = float(wv[same].sum(dtype=np.float64))
+        edeg[v] = float(wv[~same].sum(dtype=np.float64))
     return part

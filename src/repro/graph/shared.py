@@ -1,0 +1,329 @@
+"""Shared-memory CSR graph storage for multi-process partitioning.
+
+Parallel recursive bisection dispatches independent subtree nodes to
+workers.  With a process pool, pickling the whole :class:`CSRGraph`
+into every task would copy O(n + m) bytes per split — at paper scale
+(1M+ cells) that dwarfs the partitioning work itself.  Instead the
+parent packs the four CSR arrays (``xadj/adjncy/vwgt/adjwgt``) into a
+single shared segment once; tasks carry only a tiny picklable
+*descriptor*, and each worker process attaches the segment one time
+and reconstructs zero-copy read-only array views.
+
+Two backends provide the segment:
+
+* ``"shm"`` — POSIX shared memory via
+  :class:`multiprocessing.shared_memory.SharedMemory` (the default);
+* ``"mmap"`` — a temporary file mapped with :class:`numpy.memmap`,
+  used as a spill path when ``/dev/shm`` is unavailable or too small
+  (or when forced with ``REPRO_SHARED_BACKEND=mmap``).
+
+Cleanup is defensive: the parent object unlinks its segment via
+``weakref.finalize`` (which also runs at interpreter exit), so worker
+crashes cannot leak ``/dev/shm`` entries — only the parent owns the
+segment's lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["SharedCSR", "attached_graph", "attachment_count"]
+
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _resolve_backend(backend: str | None) -> str:
+    if backend is None:
+        backend = os.environ.get("REPRO_SHARED_BACKEND", "").strip() or "auto"
+    backend = backend.lower()
+    if backend not in ("auto", "shm", "mmap"):
+        raise ValueError(f"unknown shared backend {backend!r}")
+    return backend
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    On Python >= 3.13 ``track=False`` does this directly; earlier
+    versions register every attach with the resource tracker, which
+    would try to unlink the (already parent-owned) segment at exit and
+    warn — so the registration is undone right away.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - version-dependent branch
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            import multiprocessing
+
+            if multiprocessing.get_start_method(allow_none=True) != "fork":
+                # Forked workers share the parent's tracker, where the
+                # owner's registration already covers cleanup; spawned
+                # workers have their own tracker, which would wrongly
+                # unlink the parent-owned segment at exit unless the
+                # attach registration is undone.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return shm
+
+
+class SharedCSR:
+    """One read-only shared copy of a graph's CSR arrays.
+
+    Create with :meth:`from_graph` in the parent; ship
+    :meth:`descriptor` (a small picklable dict) to workers; workers
+    call :meth:`attach` (usually via :func:`attached_graph`, which
+    caches one attachment per process) and :meth:`graph` for zero-copy
+    views.  The parent should call :meth:`unlink` when done — a
+    finalizer does it anyway if forgotten or on crash.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str,
+        name: str,
+        layout: dict[str, tuple[str, tuple[int, ...], int]],
+        total: int,
+        buf,
+        shm: shared_memory.SharedMemory | None,
+        owner: bool,
+    ) -> None:
+        self._backend = backend
+        self._name = name
+        self._layout = layout
+        self._total = total
+        self._buf = buf
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        if owner:
+            self._finalizer = weakref.finalize(
+                self, _cleanup, backend, name, shm
+            )
+        else:
+            self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, g: CSRGraph, *, backend: str | None = None
+    ) -> "SharedCSR":
+        """Pack ``g``'s CSR arrays into one new shared segment."""
+        backend = _resolve_backend(backend)
+        arrays = {
+            "xadj": g.xadj,
+            "adjncy": g.adjncy,
+            "vwgt": g.vwgt,
+            "adjwgt": g.adjwgt,
+        }
+        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        for key, arr in arrays.items():
+            offset = _aligned(offset)
+            layout[key] = (arr.dtype.str, arr.shape, offset)
+            offset += arr.nbytes
+        total = max(1, offset)
+
+        shm: shared_memory.SharedMemory | None = None
+        if backend in ("auto", "shm"):
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=total)
+                buf = shm.buf
+                name = shm.name
+                backend = "shm"
+            except OSError:
+                if backend == "shm":
+                    raise
+                backend = "mmap"
+        if backend == "mmap":
+            fd, path = tempfile.mkstemp(prefix="repro_csr_", suffix=".bin")
+            os.close(fd)
+            with open(path, "wb") as fh:
+                fh.truncate(total)
+            buf = np.memmap(path, dtype=np.uint8, mode="r+", shape=(total,))
+            name = path
+
+        out = cls(
+            backend=backend,
+            name=name,
+            layout=layout,
+            total=total,
+            buf=buf,
+            shm=shm,
+            owner=True,
+        )
+        for key, arr in arrays.items():
+            out._view(key)[...] = arr
+        if backend == "mmap":
+            buf.flush()
+        return out
+
+    @classmethod
+    def attach(cls, desc: dict) -> "SharedCSR":
+        """Attach to an existing segment from its descriptor."""
+        backend = desc["backend"]
+        name = desc["name"]
+        layout = {
+            k: (d, tuple(s), o) for k, (d, s, o) in desc["layout"].items()
+        }
+        if backend == "shm":
+            shm = _attach_shm(name)
+            buf = shm.buf
+        else:
+            shm = None
+            buf = np.memmap(
+                name, dtype=np.uint8, mode="r", shape=(desc["total"],)
+            )
+        return cls(
+            backend=backend,
+            name=name,
+            layout=layout,
+            total=desc["total"],
+            buf=buf,
+            shm=shm,
+            owner=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def _view(self, key: str) -> np.ndarray:
+        dtype, shape, offset = self._layout[key]
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        arr = np.frombuffer(
+            self._buf, dtype=np.dtype(dtype), count=count, offset=offset
+        )
+        return arr.reshape(shape)
+
+    def graph(self) -> CSRGraph:
+        """Zero-copy :class:`CSRGraph` over the shared arrays.
+
+        The views are served straight from the segment; treat the
+        graph as read-only (CSRGraph never mutates its arrays).
+        """
+        return CSRGraph(
+            self._view("xadj"),
+            self._view("adjncy"),
+            vwgt=self._view("vwgt"),
+            adjwgt=self._view("adjwgt"),
+        )
+
+    def descriptor(self) -> dict:
+        """Small picklable handle workers use to :meth:`attach`."""
+        return {
+            "backend": self._backend,
+            "name": self._name,
+            "total": self._total,
+            "layout": {
+                k: (d, list(s), o) for k, (d, s, o) in self._layout.items()
+            },
+        }
+
+    @property
+    def nbytes(self) -> int:
+        return self._total
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (does not remove the segment)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; idempotent)."""
+        self.close()
+        if self._finalizer is not None:
+            # Runs _cleanup exactly once, even if the finalizer would
+            # also fire later at gc/exit.
+            self._finalizer()
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self._owner else self.close()
+
+
+def _cleanup(
+    backend: str, name: str, shm: shared_memory.SharedMemory | None
+) -> None:
+    """Owner-side segment removal; must never raise (finalizer)."""
+    if backend == "shm" and shm is not None:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+    elif backend == "mmap":
+        try:
+            os.unlink(name)
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Per-process attachment cache (worker side)
+# ----------------------------------------------------------------------
+#: Segments this process has attached, keyed by segment name.  A worker
+#: serves every task of a partitioning run from one attachment.
+_ATTACHED: dict[str, tuple[SharedCSR, CSRGraph]] = {}
+
+
+def attached_graph(desc: dict) -> tuple[CSRGraph, bool]:
+    """Worker-side accessor: the shared graph for ``desc``.
+
+    Returns ``(graph, fresh)`` where ``fresh`` is True when this call
+    performed the actual attach (first task in this process) — the
+    diagnostics recursive bisection uses to prove workers attach
+    rather than receive pickled graphs.
+    """
+    key = desc["name"]
+    ent = _ATTACHED.get(key)
+    if ent is not None:
+        return ent[1], False
+    scsr = SharedCSR.attach(desc)
+    g = scsr.graph()
+    _ATTACHED[key] = (scsr, g)
+    return g, True
+
+
+def attachment_count() -> int:
+    """Number of distinct segments attached by this process."""
+    return len(_ATTACHED)

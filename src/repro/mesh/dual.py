@@ -22,6 +22,8 @@ def mesh_to_dual_graph(
     *,
     vwgt: np.ndarray | None = None,
     edge_weight: str = "unit",
+    index_dtype: np.dtype | type | str | None = None,
+    weight_dtype: np.dtype | type | None = None,
 ) -> CSRGraph:
     """Build the dual graph of a mesh.
 
@@ -33,6 +35,14 @@ def mesh_to_dual_graph(
         ``"unit"`` — every face counts 1 (communication ∝ number of
         faces, the paper's model); ``"area"`` — weight by face area
         (communication ∝ interface size).
+    index_dtype:
+        Storage dtype for ``adjncy`` — e.g. ``np.int32`` for the scale
+        tier, or ``"auto"`` to narrow whenever the cell count provably
+        fits int32.  ``None`` keeps int64.
+    weight_dtype:
+        Optional storage dtype for ``adjwgt`` (e.g. ``np.float32``).
+        Narrowing is a storage decision only: the partitioner
+        accumulates in float64 either way.
 
     Returns
     -------
@@ -40,10 +50,17 @@ def mesh_to_dual_graph(
     and whose edges are the interior faces.
     """
     xadj, adjncy, face_of = mesh.cell_adjacency()
+    if index_dtype is not None:
+        if isinstance(index_dtype, str) and index_dtype == "auto":
+            index_dtype = (
+                np.int32 if mesh.num_cells <= np.iinfo(np.int32).max else None
+            )
+        if index_dtype is not None:
+            adjncy = adjncy.astype(index_dtype, copy=False)
     if edge_weight == "unit":
-        adjwgt = np.ones(len(adjncy), dtype=np.float64)
+        adjwgt = np.ones(len(adjncy), dtype=weight_dtype or np.float64)
     elif edge_weight == "area":
-        adjwgt = mesh.face_area[face_of].astype(np.float64)
+        adjwgt = mesh.face_area[face_of].astype(weight_dtype or np.float64)
     else:
         raise ValueError(f"unknown edge_weight {edge_weight!r}")
     return CSRGraph(xadj, adjncy, vwgt=vwgt, adjwgt=adjwgt)

@@ -107,15 +107,36 @@ def build_octree_mesh(
     *,
     max_depth: int,
     min_depth: int = 2,
+    engine: str | None = None,
+    chunk_cells: int | None = None,
 ) -> tuple[Mesh, np.ndarray]:
     """Build a 2:1-balanced octree finite-volume mesh on the unit
     cube.
+
+    ``engine`` selects the chunked NumPy build (``"array"``, the
+    default) or the original dict/tuple build (``"object"``, the
+    differential oracle); both are bit-identical.  Scalar-only sizing
+    callables are handled by the array engine via a per-point
+    fallback.
 
     Returns ``(mesh, centers3d)``: the dimension-agnostic
     :class:`Mesh` (cell volumes are true 3D volumes, face areas true
     face areas; ``cell_centers``/``face_normal`` carry the x/y
     components) plus the full ``(n, 3)`` cell centres.
     """
+    from .chunked import (
+        OCT_ARRAY_MAX_DEPTH,
+        build_octree_arrays,
+        resolve_engine,
+    )
+
+    if resolve_engine(engine, max_depth, OCT_ARRAY_MAX_DEPTH) == "array":
+        return build_octree_arrays(
+            sizing,
+            max_depth=max_depth,
+            min_depth=min_depth,
+            chunk_cells=chunk_cells,
+        )
     leaves = _refine(sizing, max_depth, min_depth)
     _balance(leaves)
 
@@ -190,7 +211,11 @@ def build_octree_mesh(
 
 
 def octree_cylinder_mesh(
-    *, max_depth: int = 7, min_depth: int = 4
+    *,
+    max_depth: int = 7,
+    min_depth: int = 4,
+    engine: str | None = None,
+    chunk_cells: int | None = None,
 ) -> tuple[Mesh, np.ndarray]:
     """3D CYLINDER-like case: a thin fine shell around a vertical axis
     segment at the cube's centre, coarsening radially — the 3D
@@ -210,4 +235,10 @@ def octree_cylinder_mesh(
             return 4.0 * h
         return 8.0 * h
 
-    return build_octree_mesh(sizing, max_depth=max_depth, min_depth=min_depth)
+    return build_octree_mesh(
+        sizing,
+        max_depth=max_depth,
+        min_depth=min_depth,
+        engine=engine,
+        chunk_cells=chunk_cells,
+    )

@@ -103,6 +103,8 @@ def build_quadtree_mesh(
     min_depth: int = 2,
     origin: tuple[float, float] = (0.0, 0.0),
     extent: float = 1.0,
+    engine: str | None = None,
+    chunk_cells: int | None = None,
 ) -> Mesh:
     """Build a 2:1-balanced quadtree finite-volume mesh.
 
@@ -118,6 +120,15 @@ def build_quadtree_mesh(
         + 1``.
     origin, extent:
         The square domain ``[ox, ox+extent] × [oy, oy+extent]``.
+    engine:
+        ``"array"`` — chunked NumPy build (the default; required for
+        paper-scale meshes); ``"object"`` — the original dict/tuple
+        build, kept as the differential oracle.  ``None`` consults
+        ``REPRO_MESH_ENGINE``.  Both engines produce bit-identical
+        meshes.
+    chunk_cells:
+        Cells per vectorized pass of the array engine (bounds its
+        transient memory; irrelevant to the result).
 
     Returns
     -------
@@ -125,6 +136,21 @@ def build_quadtree_mesh(
     (z-curve) order of their quadtree coordinates, which keeps
     spatially close cells close in memory.
     """
+    from .chunked import (
+        QUAD_ARRAY_MAX_DEPTH,
+        build_quadtree_arrays,
+        resolve_engine,
+    )
+
+    if resolve_engine(engine, max_depth, QUAD_ARRAY_MAX_DEPTH) == "array":
+        return build_quadtree_arrays(
+            sizing,
+            max_depth=max_depth,
+            min_depth=min_depth,
+            origin=origin,
+            extent=extent,
+            chunk_cells=chunk_cells,
+        )
     leaves = _refine(sizing, max_depth, min_depth, origin, extent)
     _balance(leaves)
 

@@ -77,6 +77,8 @@ def sc_oc_partition(
     imbalance_tol: float = 1.05,
     method: str = "recursive",
     n_jobs: int | None = 1,
+    executor: str | None = None,
+    index_dtype=None,
     strict: bool = False,
 ) -> np.ndarray:
     """Single-Constraint Operating-Cost partitioning (the baseline).
@@ -84,7 +86,7 @@ def sc_oc_partition(
     Returns the ``(n_cells,)`` domain assignment.
     """
     vwgt = operating_costs(tau)
-    g = mesh_to_dual_graph(mesh, vwgt=vwgt)
+    g = mesh_to_dual_graph(mesh, vwgt=vwgt, index_dtype=index_dtype)
     return partition_graph(
         g,
         num_domains,
@@ -92,6 +94,7 @@ def sc_oc_partition(
         imbalance_tol=imbalance_tol,
         method=method,
         n_jobs=n_jobs,
+        executor=executor,
         coords=mesh.cell_centers,
         strict=strict,
     ).part
@@ -106,6 +109,8 @@ def mc_tl_partition(
     imbalance_tol: float = 1.05,
     method: str = "recursive",
     n_jobs: int | None = 1,
+    executor: str | None = None,
+    index_dtype=None,
     strict: bool = False,
 ) -> np.ndarray:
     """Multi-Constraint Temporal-Level partitioning (the paper's
@@ -116,7 +121,7 @@ def mc_tl_partition(
     Returns the ``(n_cells,)`` domain assignment.
     """
     vwgt = _level_indicator_matrix(tau)
-    g = mesh_to_dual_graph(mesh, vwgt=vwgt)
+    g = mesh_to_dual_graph(mesh, vwgt=vwgt, index_dtype=index_dtype)
     return partition_graph(
         g,
         num_domains,
@@ -124,6 +129,7 @@ def mc_tl_partition(
         imbalance_tol=imbalance_tol,
         method=method,
         n_jobs=n_jobs,
+        executor=executor,
         coords=mesh.cell_centers,
         strict=strict,
     ).part
@@ -138,6 +144,7 @@ def dual_phase_partition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     n_jobs: int | None = 1,
+    executor: str | None = None,
     strict: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Dual-phase partitioning (paper §VII perspective).
@@ -158,6 +165,7 @@ def dual_phase_partition(
         seed=seed,
         imbalance_tol=imbalance_tol,
         n_jobs=n_jobs,
+        executor=executor,
         strict=strict,
     )
     cost = operating_costs(tau)
@@ -180,6 +188,7 @@ def dual_phase_partition(
             seed=seed + 1 + p,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            executor=executor,
             coords=mesh.cell_centers[mapping],
             strict=strict,
         ).part
@@ -274,6 +283,8 @@ def make_decomposition(
     seed: int = 0,
     imbalance_tol: float = 1.05,
     n_jobs: int | None = 1,
+    executor: str | None = None,
+    index_dtype=None,
     strict: bool = False,
 ) -> DomainDecomposition:
     """Partition a mesh and map the domains to processes.
@@ -281,9 +292,11 @@ def make_decomposition(
     ``strategy`` is one of :data:`STRATEGIES` (``"SC_OC"``,
     ``"MC_TL"``, ``"RCB"``, ``"SFC"``) or ``"DUAL"`` for the dual-phase
     scheme (which requires ``num_domains`` to be a multiple of
-    ``num_processes``).  ``n_jobs`` is forwarded to the graph
-    partitioner for the strategies that use it, and ``strict=True``
-    makes the graph strategies raise
+    ``num_processes``).  ``n_jobs``, ``executor`` (pool backend, see
+    :func:`repro.pipeline.jobs.resolve_executor`) and ``index_dtype``
+    (dual-graph ``adjncy`` narrowing, e.g. ``"auto"``) are forwarded
+    to the graph partitioner for the strategies that use them, and
+    ``strict=True`` makes the graph strategies raise
     :class:`~repro.resilience.errors.PartitionQualityError` instead of
     degrading through the fallback chain.
     """
@@ -300,6 +313,7 @@ def make_decomposition(
             seed=seed,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            executor=executor,
             strict=strict,
         )
         return DomainDecomposition(
@@ -324,6 +338,8 @@ def make_decomposition(
             seed=seed,
             imbalance_tol=imbalance_tol,
             n_jobs=n_jobs,
+            executor=executor,
+            index_dtype=index_dtype,
             strict=strict,
         )
     else:

@@ -11,11 +11,15 @@ tracked PR-over-PR (run via ``python -m repro bench`` or
 * :mod:`repro.perf.taskgraph` — Algorithm 1 DAG generation
   (``BENCH_taskgraph.json``);
 * :mod:`repro.perf.flusim` — the discrete-event simulator
-  (``BENCH_flusim.json``).
+  (``BENCH_flusim.json``);
+* :mod:`repro.perf.scale` — the paper-scale mesh→dual→partition chain
+  (``BENCH_scale.json``; opt-in, excluded from the default ``all``
+  expansion because it runs for minutes).
 """
 
 from . import flusim as flusim_suite
 from . import partitioner as partitioner_suite
+from . import scale as scale_suite
 from . import taskgraph as taskgraph_suite
 from .common import compare_results, load_baseline, save_baseline
 from .partitioner import (
@@ -26,15 +30,33 @@ from .partitioner import (
 )
 
 #: Suite name → module; each exposes ``run_suite``, ``format_report``
-#: and the shared baseline I/O + comparator.
+#: and the shared baseline I/O + comparator.  These are the *default*
+#: suites — cheap enough for ``--suite all`` and the perf_smoke tests.
 SUITES = {
     "partitioner": partitioner_suite,
     "taskgraph": taskgraph_suite,
     "flusim": flusim_suite,
 }
 
+#: Opt-in suites, addressable by name but never expanded from "all":
+#: the scale chain builds 1M+-cell meshes and runs for minutes.
+EXTRA_SUITES = {
+    "scale": scale_suite,
+}
+
+
+def get_suite(name: str):
+    """Resolve a suite module by name, including the opt-in extras."""
+    try:
+        return SUITES.get(name) or EXTRA_SUITES[name]
+    except KeyError:
+        raise ValueError(f"unknown perf suite {name!r}") from None
+
+
 __all__ = [
     "SUITES",
+    "EXTRA_SUITES",
+    "get_suite",
     "bench_graphs",
     "compare_results",
     "format_report",
@@ -45,4 +67,5 @@ __all__ = [
     "partitioner_suite",
     "taskgraph_suite",
     "flusim_suite",
+    "scale_suite",
 ]

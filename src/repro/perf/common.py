@@ -21,6 +21,7 @@ import numpy as np
 
 __all__ = [
     "best_of",
+    "peak_rss_mib",
     "machine_info",
     "suite_result",
     "save_baseline",
@@ -42,6 +43,23 @@ def best_of(fn: Callable[[], Any], repeats: int) -> float:
     return best
 
 
+def peak_rss_mib() -> float:
+    """Process peak resident set size in MiB (lifetime high-water).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; falls back to 0.0
+    on platforms without :mod:`resource` (the envelope then simply
+    omits a meaningful number and the memory gate stays silent).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def machine_info() -> dict:
     """Environment metadata recorded alongside every suite result."""
     return {
@@ -52,17 +70,26 @@ def machine_info() -> dict:
 
 
 def suite_result(cases: dict) -> dict:
-    """Wrap per-size cases in the common result envelope."""
+    """Wrap per-size cases in the common result envelope.
+
+    ``peak_rss_mib`` is sampled *after* the cases ran, so it records
+    the memory high-water of the whole suite — the number the loose
+    memory gate of :func:`compare_results` diffs.
+    """
     return {
         "schema": 1,
         "created": time.strftime("%Y-%m-%d %H:%M:%S"),
         "machine": machine_info(),
+        "peak_rss_mib": peak_rss_mib(),
         "cases": cases,
     }
 
 
 def save_baseline(result: dict, path: str) -> None:
     """Write a suite result as the JSON baseline."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -110,6 +137,7 @@ def compare_results(
     *,
     threshold: float = 3.0,
     speedup_drop: float = 1.2,
+    rss_ratio: float = 2.0,
 ) -> list[str]:
     """Diff two suite results for fast-path regressions.
 
@@ -125,11 +153,31 @@ def compare_results(
       Both engines run on the same machine in the same process, so the
       ratio is machine-robust and is the gate CI relies on.
 
-    Entries marked ``{"skipped": true}`` (e.g. the parallel k-way
-    comparison on a single-CPU machine) are ignored.  Returns
+    A third, deliberately loose gate compares the envelopes'
+    ``peak_rss_mib``: the current suite run must stay within
+    ``rss_ratio`` (default 2x) of the baseline's memory high-water —
+    catching only order-of-magnitude blowups (an accidental O(cells)
+    materialization at the scale tier), never allocator noise.  Zero
+    or missing baselines disable the gate.
+
+    Entries marked ``{"skipped": true}`` (e.g. a parallel comparison
+    whose worker pool could not start) are ignored.  Returns
     human-readable regression messages; empty means clean.
     """
     problems: list[str] = []
+
+    b_rss = baseline.get("peak_rss_mib")
+    c_rss = current.get("peak_rss_mib")
+    if (
+        isinstance(b_rss, (int, float))
+        and isinstance(c_rss, (int, float))
+        and b_rss > 0
+        and c_rss > rss_ratio * b_rss
+    ):
+        problems.append(
+            f"peak_rss_mib: {c_rss:.0f} MiB vs baseline {b_rss:.0f} MiB "
+            f"(>{rss_ratio:g}x memory regression)"
+        )
 
     def walk(base: Any, cur: Any, path: str) -> None:
         if not (isinstance(base, dict) and isinstance(cur, dict)):

@@ -1,14 +1,19 @@
-"""Single resolution point for the partitioner worker count.
+"""Single resolution point for the partitioner parallelism knobs.
 
 Historically ``REPRO_N_JOBS`` was consulted independently by the
 experiment harness, the CLI and the graph partitioner; this module is
-now the one place the knob is resolved.  The resolved integer is then
-*threaded* through the pipeline into the strategies, so downstream
-layers never re-read the environment.
+now the one place the knobs are resolved.  The resolved values are
+then *threaded* through the pipeline into the strategies, so
+downstream layers never re-read the environment.
 
-Resolution order: an explicit value (e.g. the CLI's ``--jobs``), then
-the process-wide default installed with :func:`set_default_n_jobs`,
-then the ``REPRO_N_JOBS`` environment variable, then serial.
+Resolution order for the worker count: an explicit value (e.g. the
+CLI's ``--jobs``), then the process-wide default installed with
+:func:`set_default_n_jobs`, then the ``REPRO_N_JOBS`` environment
+variable, then serial.  The pool backend (:func:`resolve_executor`)
+follows the same pattern with ``REPRO_EXECUTOR``; its ``"auto"``
+default lets the partitioner pick threads for small graphs and
+shared-memory processes (:class:`~repro.graph.shared.SharedCSR`) at
+scale.
 """
 
 from __future__ import annotations
@@ -16,7 +21,11 @@ from __future__ import annotations
 import os
 import warnings
 
-__all__ = ["resolve_n_jobs", "set_default_n_jobs"]
+__all__ = ["resolve_n_jobs", "set_default_n_jobs", "resolve_executor"]
+
+#: Valid pool-backend names, as understood by
+#: :func:`repro.graph.partition.recursive_bisection`.
+_EXECUTORS = ("auto", "thread", "process")
 
 #: Process-wide default installed by the CLI; ``None`` falls through
 #: to the ``REPRO_N_JOBS`` environment variable.
@@ -55,3 +64,27 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
     if n_jobs < 0:
         return max(1, os.cpu_count() or 1)
     return max(1, n_jobs)
+
+
+def resolve_executor(executor: str | None = None) -> str:
+    """Resolve the parallel pool backend: ``"auto"``, ``"thread"`` or
+    ``"process"``.
+
+    An explicit value wins; otherwise the ``REPRO_EXECUTOR``
+    environment variable is consulted; the default is ``"auto"``
+    (threads below the partitioner's scale threshold, shared-memory
+    processes above it).  An invalid value warns and falls back to
+    ``"auto"`` rather than killing a campaign.
+    """
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR", "").strip() or "auto"
+    executor = executor.lower()
+    if executor not in _EXECUTORS:
+        warnings.warn(
+            f"invalid executor value {executor!r} (expected one of "
+            f"{_EXECUTORS}); falling back to 'auto'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "auto"
+    return executor

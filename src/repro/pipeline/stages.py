@@ -35,6 +35,7 @@ from ..taskgraph.dag import TaskDAG
 from ..taskgraph.generation import generate_task_graph
 from ..taskgraph.task import TaskArrays
 from ..temporal import levels_from_depth
+from .jobs import resolve_executor
 from .config import (
     LevelConfig,
     MeshConfig,
@@ -161,6 +162,10 @@ class PartitionStage:
     def compute(
         config: PartitionConfig, mesh: Mesh, tau: np.ndarray
     ) -> DomainDecomposition:
+        # The pool backend is resolved here (the pipeline's n_jobs
+        # resolution point) and deliberately kept OUT of the content
+        # address: thread and process executors produce identical
+        # labels, so caching must not split on the backend.
         return make_decomposition(
             mesh,
             tau,
@@ -170,6 +175,7 @@ class PartitionStage:
             seed=config.seed,
             imbalance_tol=config.imbalance_tol,
             n_jobs=config.n_jobs,
+            executor=resolve_executor(),
         )
 
     @staticmethod

@@ -1,0 +1,418 @@
+"""Tests for the paper-scale tier.
+
+Four surfaces introduced together: the shared-memory CSR segment that
+parallel recursive bisection publishes to process workers, the
+int32/float32 storage narrowing with dtype provenance, the optional
+compiled kernel tier (bit-identical interpreted without Numba), and
+the ``scale`` perf suite plus its envelope-level memory gate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.accel import is_available, jit_status, kernels_active
+from repro.graph import CSRGraph
+from repro.graph.coarsen import heavy_edge_matching
+from repro.graph.metrics import edge_cut
+from repro.graph.partition import partition_graph, recursive_bisection
+from repro.graph.refine import fm_refine
+from repro.graph.shared import SharedCSR, attached_graph
+from repro.mesh.dual import mesh_to_dual_graph
+from repro.mesh.generators import uniform_mesh
+
+
+@pytest.fixture(scope="module")
+def dual_graph():
+    """Dual graph of a 256-cell uniform mesh, auto-narrowed indices."""
+    return mesh_to_dual_graph(uniform_mesh(depth=4), index_dtype="auto")
+
+
+def narrow_graph(seed: int = 0, n: int = 120) -> CSRGraph:
+    """A connected random graph stored narrow: int32 adjncy, float32
+    weights (values exactly representable in float32)."""
+    rng = np.random.default_rng(seed)
+    edges = {(i, i + 1) for i in range(n - 1)}
+    for _ in range(2 * n):
+        u, v = rng.integers(0, n, 2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    src, dst = np.array(sorted(edges)).T
+    deg = np.bincount(src, minlength=n) + np.bincount(dst, minlength=n)
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=xadj[1:])
+    adjncy = np.empty(xadj[-1], dtype=np.int32)
+    adjwgt = np.empty(xadj[-1], dtype=np.float32)
+    pos = xadj[:-1].copy()
+    w = rng.integers(1, 8, len(src)).astype(np.float32)
+    for (u, v), wv in zip(zip(src, dst), w):
+        adjncy[pos[u]] = v
+        adjwgt[pos[u]] = wv
+        pos[u] += 1
+        adjncy[pos[v]] = u
+        adjwgt[pos[v]] = wv
+        pos[v] += 1
+    vwgt = rng.integers(1, 5, n).astype(np.float32)
+    return CSRGraph(xadj, adjncy, vwgt=vwgt, adjwgt=adjwgt)
+
+
+# ----------------------------------------------------------------------
+# SharedCSR
+# ----------------------------------------------------------------------
+class TestSharedCSR:
+    def test_roundtrip_preserves_arrays_and_dtypes(self):
+        g = narrow_graph(1)
+        with SharedCSR.from_graph(g) as scsr:
+            peer = SharedCSR.attach(scsr.descriptor())
+            try:
+                got = peer.graph()
+                np.testing.assert_array_equal(got.xadj, g.xadj)
+                np.testing.assert_array_equal(got.adjncy, g.adjncy)
+                np.testing.assert_array_equal(got.vwgt, g.vwgt)
+                np.testing.assert_array_equal(got.adjwgt, g.adjwgt)
+                # Narrowed storage must survive the segment round-trip.
+                assert got.adjncy.dtype == np.int32
+                assert got.vwgt.dtype == np.float32
+                assert got.adjwgt.dtype == np.float32
+            finally:
+                # Drop the zero-copy views before unmapping, else the
+                # mmap close is refused (exported pointers).
+                del got
+                peer.close()
+
+    def test_unlink_is_idempotent_and_removes_segment(self):
+        g = narrow_graph(2)
+        scsr = SharedCSR.from_graph(g)
+        desc = scsr.descriptor()
+        scsr.unlink()
+        scsr.unlink()  # idempotent
+        if desc["backend"] == "shm":
+            with pytest.raises(FileNotFoundError):
+                SharedCSR.attach(desc)
+        else:
+            assert not os.path.exists(desc["name"])
+
+    def test_finalizer_cleans_up_without_explicit_unlink(self):
+        import gc
+
+        g = narrow_graph(3)
+        scsr = SharedCSR.from_graph(g)
+        desc = scsr.descriptor()
+        del scsr
+        gc.collect()
+        if desc["backend"] == "shm":
+            with pytest.raises(FileNotFoundError):
+                SharedCSR.attach(desc)
+        else:
+            assert not os.path.exists(desc["name"])
+
+    def test_worker_crash_does_not_leak_segment(self):
+        """A worker that attaches and dies hard must not keep the
+        segment alive or remove it out from under the parent — only
+        the parent owns the lifetime."""
+        g = narrow_graph(4)
+        scsr = SharedCSR.from_graph(g)
+        desc = scsr.descriptor()
+
+        proc = multiprocessing.Process(
+            target=_attach_and_crash, args=(desc,)
+        )
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == 17  # the worker did reach its os._exit
+
+        # Parent still owns a live segment after the crash...
+        peer = SharedCSR.attach(desc)
+        np.testing.assert_array_equal(peer.graph().adjncy, g.adjncy)
+        peer.close()
+        # ...and its unlink still removes it.
+        scsr.unlink()
+        if desc["backend"] == "shm":
+            with pytest.raises(FileNotFoundError):
+                SharedCSR.attach(desc)
+        else:
+            assert not os.path.exists(desc["name"])
+
+    def test_mmap_backend_roundtrip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARED_BACKEND", "mmap")
+        g = narrow_graph(5)
+        with SharedCSR.from_graph(g) as scsr:
+            assert scsr.backend == "mmap"
+            peer = SharedCSR.attach(scsr.descriptor())
+            np.testing.assert_array_equal(peer.graph().adjwgt, g.adjwgt)
+            peer.close()
+
+
+def _attach_and_crash(desc):
+    graph, fresh = attached_graph(desc)
+    assert fresh and graph.num_vertices > 0
+    os._exit(17)  # hard death: no finalizers, no atexit
+
+
+# ----------------------------------------------------------------------
+# Parallel recursive bisection over the shared segment
+# ----------------------------------------------------------------------
+class TestParallelBisection:
+    def test_process_workers_attach_instead_of_unpickling(self, dual_graph):
+        attach_log: list = []
+        part = recursive_bisection(
+            dual_graph,
+            8,
+            np.random.default_rng(3),
+            n_jobs=2,
+            executor="process",
+            attach_log=attach_log,
+        )
+        assert len(np.unique(part)) == 8
+        # Each worker attaches the one shared segment exactly once.
+        assert attach_log, "no shared-segment attach events recorded"
+        pids = {pid for pid, _ in attach_log}
+        assert os.getpid() not in pids
+        assert len(attach_log) == len(pids)
+        names = {name for _, name in attach_log}
+        assert len(names) == 1
+
+    def test_parallel_labels_scheduling_invariant(self, dual_graph):
+        runs = [
+            recursive_bisection(
+                dual_graph,
+                6,
+                np.random.default_rng(7),
+                n_jobs=n_jobs,
+                executor=executor,
+            )
+            for n_jobs, executor in (
+                (2, "process"),
+                (3, "process"),
+                (2, "thread"),
+            )
+        ]
+        for other in runs[1:]:
+            np.testing.assert_array_equal(runs[0], other)
+
+    def test_parallel_cut_parity_with_serial(self, dual_graph):
+        serial = recursive_bisection(
+            dual_graph, 8, np.random.default_rng(3), n_jobs=1
+        )
+        par = recursive_bisection(
+            dual_graph, 8, np.random.default_rng(3), n_jobs=2,
+            executor="process",
+        )
+        # Different RNG disciplines by design (per-node spawned
+        # streams), so labels differ — quality must not.
+        cs = edge_cut(dual_graph, serial)
+        cp = edge_cut(dual_graph, par)
+        assert cp <= 1.5 * cs + 8.0
+
+
+# ----------------------------------------------------------------------
+# Dtype narrowing
+# ----------------------------------------------------------------------
+class TestDtypeNarrowing:
+    def test_auto_dual_is_int32_at_small_scale(self, dual_graph):
+        assert dual_graph.adjncy.dtype == np.int32
+
+    def test_subgraph_preserves_narrow_storage(self):
+        g = narrow_graph(6)
+        sub, mapping = g.subgraph(np.arange(0, g.num_vertices, 2))
+        assert sub.adjncy.dtype == np.int32
+        assert sub.vwgt.dtype == np.float32
+        assert sub.adjwgt.dtype == np.float32
+        assert mapping.dtype == np.int64
+
+    def test_coarsening_keeps_narrow_indices(self):
+        from repro.graph.coarsen import coarsen_once
+
+        g = narrow_graph(12)
+        lvl = coarsen_once(g, np.random.default_rng(0))
+        # Indices must never silently widen; the *weights* deliberately
+        # accumulate in float64 (sums of float32 are not representable
+        # in float32 without rounding).
+        assert lvl.graph.adjncy.dtype == np.int32
+        assert lvl.graph.vwgt.dtype == np.float64
+        assert lvl.cmap.max() < g.num_vertices
+
+    def test_partition_round_trip_no_silent_widening(self):
+        g = narrow_graph(7)
+        res = partition_graph(g, 4, seed=7)
+        assert res.part.dtype == np.int32
+        assert res.dtypes == {
+            "adjncy": "int32",
+            "vwgt": "float32",
+            "adjwgt": "float32",
+            "part": "int32",
+        }
+        # The input graph's own storage must be untouched.
+        assert g.adjncy.dtype == np.int32
+        assert g.vwgt.dtype == np.float32
+
+    def test_narrow_and_wide_labels_bit_identical(self):
+        g = narrow_graph(8)
+        wide = CSRGraph(
+            g.xadj.astype(np.int64),
+            g.adjncy.astype(np.int64),
+            vwgt=np.asarray(g.vwgt, dtype=np.float64),
+            adjwgt=np.asarray(g.adjwgt, dtype=np.float64),
+        )
+        res_n = partition_graph(g, 5, seed=11)
+        res_w = partition_graph(wide, 5, seed=11)
+        np.testing.assert_array_equal(res_n.part, res_w.part)
+        assert res_n.cut == res_w.cut
+
+
+# ----------------------------------------------------------------------
+# Compiled kernel tier
+# ----------------------------------------------------------------------
+class TestCompiledTier:
+    def test_gating_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert kernels_active(True) is True
+        assert kernels_active(False) is False
+        assert kernels_active(None) is False
+        monkeypatch.setenv("REPRO_COMPILED", "force")
+        assert kernels_active(None) is True
+        assert kernels_active(False) is False
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert kernels_active(None) is is_available()
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        assert kernels_active(None) is False
+
+    def test_jit_status_matches_availability(self):
+        assert jit_status() == (
+            "numba" if is_available() else "interpreted"
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fm_compiled_bit_identical(self, seed):
+        g = narrow_graph(seed, n=90)
+        rng = np.random.default_rng(seed)
+        part0 = (rng.random(g.num_vertices) < 0.5).astype(np.int32)
+        ref = fm_refine(
+            g, part0.copy(), imbalance_tol=1.1,
+            rng=np.random.default_rng(seed), compiled=False,
+            check_cut=True,
+        )
+        ker = fm_refine(
+            g, part0.copy(), imbalance_tol=1.1,
+            rng=np.random.default_rng(seed), compiled=True,
+            check_cut=True,
+        )
+        np.testing.assert_array_equal(ref, ker)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_hem_compiled_bit_identical(self, seed):
+        g = narrow_graph(seed + 10, n=90)
+        ref = heavy_edge_matching(
+            g, np.random.default_rng(seed), compiled=False
+        )
+        ker = heavy_edge_matching(
+            g, np.random.default_rng(seed), compiled=True
+        )
+        np.testing.assert_array_equal(ref, ker)
+
+    def test_partition_chain_bit_identical_under_force(
+        self, dual_graph, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        base = partition_graph(dual_graph, 4, seed=5)
+        monkeypatch.setenv("REPRO_COMPILED", "force")
+        forced = partition_graph(dual_graph, 4, seed=5)
+        np.testing.assert_array_equal(base.part, forced.part)
+        assert base.cut == forced.cut
+
+    def test_flusim_compiled_bit_identical(self):
+        from repro.flusim import ClusterConfig, simulate, simulate_ref
+        from repro.flusim.trace import trace_differences
+        from repro.partitioning import make_decomposition
+        from repro.taskgraph import generate_task_graph
+        from repro.temporal import levels_from_depth
+
+        mesh = uniform_mesh(depth=3)
+        tau = levels_from_depth(mesh)
+        decomp = make_decomposition(mesh, tau, 4, 2, seed=0)
+        dag = generate_task_graph(mesh, tau, decomp)
+        cluster = ClusterConfig(decomp.num_processes, 2)
+        got = simulate(
+            dag, cluster, scheduler="eager", seed=0,
+            engine="batched", compiled=True,
+        )
+        want = simulate_ref(dag, cluster, scheduler="eager", seed=0)
+        assert not trace_differences(got, want)
+
+
+# ----------------------------------------------------------------------
+# Scale perf suite + memory gate
+# ----------------------------------------------------------------------
+class TestScaleSuite:
+    def test_suite_registry(self):
+        from repro.perf import EXTRA_SUITES, SUITES, get_suite, scale_suite
+
+        assert "scale" not in SUITES  # never expanded from "all"
+        assert get_suite("scale") is scale_suite
+        assert get_suite("partitioner") is SUITES["partitioner"]
+        with pytest.raises(ValueError):
+            get_suite("nope")
+        assert set(EXTRA_SUITES) == {"scale"}
+
+    def test_run_benchmarks_tiny_chain(self, monkeypatch):
+        from repro.perf import scale_suite
+
+        monkeypatch.setitem(scale_suite.SIZES, "tiny", dict(depth=4))
+        case = scale_suite.run_benchmarks(size="tiny", n_jobs=2)
+        assert case["cells"] == 4**4
+        stages = case["stages"]
+        assert stages["dual"]["index_dtype"] == "int32"
+        assert stages["partition_serial"]["dtypes"]["adjncy"] == "int32"
+        par = stages["partition_parallel"]
+        assert par["workers_attached"] >= 1
+        assert 0.0 < par["cut_vs_serial"] < 2.0
+        for st in stages.values():
+            assert st["seconds"] >= 0.0
+            assert st["peak_rss_mib"] > 0.0
+        report = scale_suite.format_report(
+            scale_suite.run_suite(("tiny",), n_jobs=2)
+        )
+        assert "workers attached" in report
+
+    def test_unknown_size_rejected(self):
+        from repro.perf import scale_suite
+
+        with pytest.raises(ValueError):
+            scale_suite.run_benchmarks(size="galactic")
+
+    def test_peak_rss_positive_and_monotone(self):
+        from repro.perf.common import peak_rss_mib
+
+        a = peak_rss_mib()
+        blob = np.ones(4 << 20, dtype=np.uint8)  # 4 MiB touch
+        blob[::4096] = 2
+        b = peak_rss_mib()
+        assert a > 0 and b >= a
+
+    def test_memory_gate_fires_and_stays_silent(self):
+        from repro.perf.common import compare_results
+
+        base = {"cases": {}, "peak_rss_mib": 100.0}
+        bloated = {"cases": {}, "peak_rss_mib": 350.0}
+        ok = {"cases": {}, "peak_rss_mib": 150.0}
+        assert any(
+            "peak_rss_mib" in p for p in compare_results(base, bloated)
+        )
+        assert not compare_results(base, ok)
+        # Old baselines without the field must not trip the gate.
+        assert not compare_results({"cases": {}}, bloated)
+
+    def test_kway_bench_forced_workers_on_small_machines(self):
+        from repro.perf.partitioner import _bench_kway
+
+        g = narrow_graph(9, n=200)
+        out = _bench_kway(g, 4, repeats=1, seed=3, n_jobs=1)
+        if out.get("skipped"):
+            pytest.skip(out["reason"])  # pool genuinely cannot start
+        assert out["n_jobs"] >= 2
+        assert out["parallel_s"] > 0.0
+        assert out["forced_workers"] == ((os.cpu_count() or 1) < 2)
