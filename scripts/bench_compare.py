@@ -129,8 +129,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             rc = max(rc, 2)
             continue
+        try:
+            baseline = load_baseline(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A corrupt or half-written baseline is an actionable
+            # one-liner, not a traceback.
+            print(
+                f"unparsable baseline {path} ({exc}); "
+                f"re-create it with --update",
+                file=sys.stderr,
+            )
+            rc = max(rc, 2)
+            continue
         problems = compare_results(
-            load_baseline(path),
+            baseline,
             result,
             threshold=args.threshold,
             speedup_drop=args.speedup_drop,

@@ -29,6 +29,16 @@ Commands
 ``fuzz``
     Run the seeded adversarial fuzzing harness (partition contracts,
     fast-vs-reference kernel differentials, task-DAG invariants).
+``serve``
+    The resilient scenario job service over a filesystem spool:
+    ``serve run`` starts the daemon, ``serve submit``/``status``/
+    ``result`` are the client side (content-addressed dedup, typed
+    JobFailed with partial provenance, worker-death retries).
+``store doctor``
+    Inspect (or ``--flush``) the on-disk artifact store: entries,
+    bytes, active/stale claims, quarantined corruption.
+``gc``
+    Sweep stale shared-memory segments left by dead processes.
 
 The global ``--artifacts DIR`` option (before the subcommand) enables
 the content-addressed on-disk artifact store for every command that
@@ -380,6 +390,112 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServeDaemon, ServiceClient
+
+    if args.action == "run":
+        from .runtime import RetryPolicy
+
+        daemon = ServeDaemon(
+            args.spool,
+            store_root=args.artifacts,
+            retry=RetryPolicy(
+                max_retries=args.retries, backoff=args.backoff
+            ),
+            watchdog=args.watchdog,
+        )
+        n = daemon.serve_forever(
+            max_jobs=args.max_jobs, idle_timeout=args.idle_timeout
+        )
+        print(f"serve: processed {n} job(s)")
+        return 0
+
+    client = ServiceClient(args.spool)
+    if args.action == "submit":
+        if args.scenario is None:
+            raise ValueError("serve submit needs --scenario")
+        options = {}
+        for item in args.set or []:
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise ValueError(f"--set expects key=value, got {item!r}")
+            options[key] = _parse_option_value(key, raw)
+        job_id = client.submit(
+            args.scenario, options=options, through=args.through
+        )
+        print(job_id)
+        if not args.wait:
+            return 0
+        args.job_id = job_id  # fall through to the result path
+
+    if args.action in ("submit", "result"):
+        from .resilience.errors import JobFailedError
+
+        if not args.job_id:
+            raise ValueError(f"serve {args.action} needs --job-id")
+        try:
+            result = client.result(args.job_id, timeout=args.timeout)
+        except JobFailedError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 1
+        for s in result.get("stages") or []:
+            print(
+                f"{s['stage']:>10s}  {s['digest'][:16]}  "
+                f"{(s.get('cache') or 'computed'):<8s} "
+                f"{1e3 * float(s.get('wall_time') or 0.0):9.2f} ms"
+            )
+        metrics = result.get("metrics")
+        if metrics:
+            print(
+                f"makespan {metrics['makespan']:.1f}, "
+                f"efficiency {metrics['efficiency']:.3f}"
+            )
+        if result.get("store_degraded"):
+            print(
+                f"warning: store degraded to memory-only "
+                f"({result['store_degraded']})",
+                file=sys.stderr,
+            )
+        return 0
+
+    # status
+    if not args.job_id:
+        raise ValueError("serve status needs --job-id")
+    status = client.status(args.job_id)
+    if status is None:
+        print(f"repro: error: unknown job {args.job_id}", file=sys.stderr)
+        return 1
+    line = f"{status.job_id}  {status.state}  attempts={status.attempts}"
+    if status.stages:
+        line += "  stages=" + ",".join(s["stage"] for s in status.stages)
+    if status.error:
+        line += f"  error[{status.error_kind}]={status.error}"
+    print(line)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .pipeline import ArtifactStore, default_cache_root
+
+    root = args.artifacts or default_cache_root()
+    store = ArtifactStore(root)
+    report = store.doctor(flush=args.flush)
+    print(report.summary())
+    return 0 if report.healthy else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from .graph.shared import sweep_stale_segments
+
+    removed = sweep_stale_segments(remove=not args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    if removed:
+        for name in removed:
+            print(f"{verb} stale segment {name}")
+    print(f"gc: {verb} {len(removed)} stale shared-memory segment(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -636,6 +752,110 @@ def main(argv: list[str] | None = None) -> int:
         help="print a heartbeat every N seeds (0 = silent)",
     )
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="resilient scenario job service over a filesystem spool",
+    )
+    p.add_argument(
+        "action",
+        choices=["run", "submit", "status", "result"],
+        help="'run' the daemon, or client-side "
+        "'submit'/'status'/'result'",
+    )
+    p.add_argument(
+        "--spool",
+        required=True,
+        metavar="DIR",
+        help="spool directory shared by daemon and clients",
+    )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario registry name (submit)",
+    )
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one scenario option (submit); repeatable",
+    )
+    p.add_argument(
+        "--through",
+        default="schedule",
+        choices=["mesh", "levels", "partition", "taskgraph", "schedule"],
+        help="stop the chain after this stage (submit)",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="after submit, block for the result",
+    )
+    p.add_argument(
+        "--job-id", default=None, help="job id (status/result)"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="max seconds to wait for a result",
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="daemon: stop after N jobs (default: run forever)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="daemon: stop after this many idle seconds",
+    )
+    p.add_argument(
+        "--watchdog",
+        type=float,
+        default=300.0,
+        help="daemon: per-stage progress deadline in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="daemon: retry budget per job (worker deaths, transients)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="daemon: base retry backoff in seconds",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect and repair the on-disk artifact store",
+    )
+    p.add_argument(
+        "action", choices=["doctor"], help="'doctor' inspects the store"
+    )
+    p.add_argument(
+        "--flush",
+        action="store_true",
+        help="also clear stale claims, quarantined entries and tmp litter",
+    )
+    p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser(
+        "gc",
+        help="sweep stale shared-memory segments left by dead processes",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report stale segments without removing them",
+    )
+    p.set_defaults(func=_cmd_gc)
 
     args = parser.parse_args(argv)
     try:

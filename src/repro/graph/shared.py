@@ -17,24 +17,47 @@ Two backends provide the segment:
   used as a spill path when ``/dev/shm`` is unavailable or too small
   (or when forced with ``REPRO_SHARED_BACKEND=mmap``).
 
-Cleanup is defensive: the parent object unlinks its segment via
-``weakref.finalize`` (which also runs at interpreter exit), so worker
-crashes cannot leak ``/dev/shm`` entries — only the parent owns the
-segment's lifetime.
+Cleanup is defensive in two layers.  The parent object unlinks its
+segment via ``weakref.finalize`` (which also runs at interpreter
+exit), so worker crashes cannot leak ``/dev/shm`` entries — only the
+parent owns the segment's lifetime.  And because a finalizer cannot
+survive ``SIGKILL``, segment names embed the owning pid
+(``repro-shm-<pid>-<hex>`` / ``repro_csr_<pid>_...``): a killed
+parent's leftovers are recognisably stale (dead pid) and reclaimed by
+:func:`sweep_stale_segments` — run automatically once per process
+before the first segment is created (disable with
+``REPRO_SHM_SWEEP=0``), or on demand via ``repro gc``.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import tempfile
+import warnings
 import weakref
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
 from .csr import CSRGraph
 
-__all__ = ["SharedCSR", "attached_graph", "attachment_count"]
+__all__ = [
+    "SharedCSR",
+    "attached_graph",
+    "attachment_count",
+    "stale_segments",
+    "sweep_stale_segments",
+]
+
+#: Segment naming: the owning pid is part of the name, so a sweep can
+#: tell live segments from the litter of killed processes.
+_SHM_PREFIX = "repro-shm-"
+_MMAP_PREFIX = "repro_csr_"
+_SHM_RE = re.compile(r"^repro-shm-(\d+)-[0-9a-f]+$")
+_MMAP_RE = re.compile(r"^repro_csr_(\d+)_.*$")
+_SHM_DIR = Path("/dev/shm")
 
 _ALIGN = 64
 
@@ -141,10 +164,11 @@ class SharedCSR:
             offset += arr.nbytes
         total = max(1, offset)
 
+        _sweep_once()
         shm: shared_memory.SharedMemory | None = None
         if backend in ("auto", "shm"):
             try:
-                shm = shared_memory.SharedMemory(create=True, size=total)
+                shm = _create_shm(total)
                 buf = shm.buf
                 name = shm.name
                 backend = "shm"
@@ -153,7 +177,9 @@ class SharedCSR:
                     raise
                 backend = "mmap"
         if backend == "mmap":
-            fd, path = tempfile.mkstemp(prefix="repro_csr_", suffix=".bin")
+            fd, path = tempfile.mkstemp(
+                prefix=f"{_MMAP_PREFIX}{os.getpid()}_", suffix=".bin"
+            )
             os.close(fd)
             with open(path, "wb") as fh:
                 fh.truncate(total)
@@ -296,6 +322,107 @@ def _cleanup(
             os.unlink(name)
         except (FileNotFoundError, OSError):  # pragma: no cover
             pass
+
+
+# ----------------------------------------------------------------------
+# Stale-segment hygiene
+# ----------------------------------------------------------------------
+def _create_shm(total: int) -> shared_memory.SharedMemory:
+    """Create a segment with a pid-keyed name (collision-retried)."""
+    for _ in range(16):
+        token = os.urandom(4).hex()
+        name = f"{_SHM_PREFIX}{os.getpid()}-{token}"
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=total, name=name
+            )
+        except FileExistsError:  # pragma: no cover - 2^-32 per round
+            continue
+    # Pathological collision streak: let the stdlib pick a random name
+    # (such a segment is invisible to the sweep, but still finalized).
+    return shared_memory.SharedMemory(create=True, size=total)
+
+
+def _pid_alive(pid: int) -> bool:
+    from ..pipeline.locking import pid_alive
+
+    return pid_alive(pid)
+
+
+def stale_segments() -> list[Path]:
+    """Shared segments whose owning process is dead.
+
+    Scans ``/dev/shm`` for ``repro-shm-<pid>-*`` entries and the
+    tempdir for ``repro_csr_<pid>_*`` spill files; an entry is stale
+    when its embedded pid no longer exists.  Only this naming scheme is
+    considered — foreign segments are never touched.
+    """
+    stale: list[Path] = []
+    for directory, pattern in (
+        (_SHM_DIR, _SHM_RE),
+        (Path(tempfile.gettempdir()), _MMAP_RE),
+    ):
+        try:
+            entries = list(directory.iterdir())
+        except OSError:
+            continue
+        for path in entries:
+            match = pattern.match(path.name)
+            if match is None:
+                continue
+            try:
+                pid = int(match.group(1))
+            except ValueError:  # pragma: no cover - regex guarantees
+                continue
+            if pid != os.getpid() and not _pid_alive(pid):
+                stale.append(path)
+    return stale
+
+
+def sweep_stale_segments(*, remove: bool = True) -> list[str]:
+    """Reclaim dead-pid segments; returns the affected names.
+
+    With ``remove=False`` (``repro gc --dry-run``) only reports.
+    Removal races are benign: a segment deleted by a concurrent sweep
+    is simply skipped.
+    """
+    swept: list[str] = []
+    for path in stale_segments():
+        if remove:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:  # pragma: no cover - permissions
+                continue
+        swept.append(path.name)
+    return swept
+
+
+_SWEPT = False
+
+
+def _sweep_once() -> None:
+    """One startup sweep per process, before the first segment.
+
+    Gated by ``REPRO_SHM_SWEEP=0`` for setups where another live
+    process manages segments this scan cannot attribute (e.g. a pid
+    namespace boundary makes owner pids unresolvable).
+    """
+    global _SWEPT
+    if _SWEPT or os.environ.get("REPRO_SHM_SWEEP", "1") == "0":
+        _SWEPT = True
+        return
+    _SWEPT = True
+    swept = sweep_stale_segments()
+    if swept:
+        warnings.warn(
+            f"reclaimed {len(swept)} stale shared-memory segment(s) "
+            f"left by dead processes: {', '.join(sorted(swept)[:4])}"
+            + ("..." if len(swept) > 4 else ""),
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -44,8 +44,10 @@ from .stages import (
     ScheduleStage,
     TaskGraphStage,
 )
+from .locking import FileLock, Lease, acquire_claim
 from .store import (
     ArtifactStore,
+    DoctorReport,
     StoreStats,
     default_cache_root,
     default_store,
@@ -82,7 +84,11 @@ __all__ = [
     "TaskGraphStage",
     "ScheduleStage",
     "ArtifactStore",
+    "DoctorReport",
     "StoreStats",
+    "FileLock",
+    "Lease",
+    "acquire_claim",
     "default_store",
     "set_default_store",
     "default_cache_root",

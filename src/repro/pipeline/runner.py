@@ -175,23 +175,53 @@ class Pipeline:
                 cache = "disk"
                 self.store.stats.disk_hits += 1
             else:
-                self.store.stats.misses += 1
-                obj = stage.compute(config, *upstream_objects)
-                wall = time.perf_counter() - t0
-                arrays, meta = stage.pack(obj)
-                self.store.disk_write(
-                    stage.name,
-                    digest,
-                    arrays,
-                    sidecar={
-                        "config": canonical_json(config),
-                        "upstream": list(upstream_digests),
-                        "stage_version": stage.version,
-                        "wall_time": wall,
-                        "created": time.time(),
-                        "meta": meta,
-                    },
-                )
+                # Cross-process coordination: on a shared miss exactly
+                # one worker wins the claim and computes; the others
+                # block on the claim and read the published artifact.
+                # Up to two reader rounds absorb a winner whose publish
+                # turned out corrupt (quarantined on read).
+                for _ in range(3):
+                    lease = self.store.claim(stage.name, digest)
+                    if lease is not None and lease.role == "reader":
+                        lease.release()
+                        payload = self.store.disk_read(stage.name, digest)
+                        if payload is not None:
+                            meta = payload.sidecar.get("meta") or {}
+                            obj = stage.unpack(
+                                payload.arrays, meta, *upstream_objects
+                            )
+                            cache = "disk"
+                            self.store.stats.disk_hits += 1
+                            break
+                        continue  # published entry unreadable; re-claim
+                    try:
+                        self.store.stats.misses += 1
+                        obj = stage.compute(config, *upstream_objects)
+                        wall = time.perf_counter() - t0
+                        arrays, meta = stage.pack(obj)
+                        self.store.disk_write(
+                            stage.name,
+                            digest,
+                            arrays,
+                            sidecar={
+                                "config": canonical_json(config),
+                                "upstream": list(upstream_digests),
+                                "stage_version": stage.version,
+                                "wall_time": wall,
+                                "created": time.time(),
+                                "meta": meta,
+                            },
+                            lease=lease,
+                        )
+                    finally:
+                        if lease is not None:
+                            lease.release()
+                    break
+                if obj is None:
+                    # Pathological: every published copy we were told
+                    # to read was corrupt.  Compute locally, uncached.
+                    self.store.stats.misses += 1
+                    obj = stage.compute(config, *upstream_objects)
             self.store.memory_put(digest, obj)
         record.provenance[name] = StageRecord(
             stage=name,

@@ -17,6 +17,7 @@ __all__ = [
     "TaskTimeoutError",
     "PhysicsGuardError",
     "CheckpointError",
+    "JobFailedError",
     "PartitionError",
     "PartitionInternalError",
     "PartitionQualityError",
@@ -74,6 +75,38 @@ class PhysicsGuardError(ResilienceError):
 
 class CheckpointError(ResilienceError):
     """A checkpoint could not be written, found, or safely loaded."""
+
+
+class JobFailedError(ResilienceError):
+    """A ``repro serve`` job exhausted its retries (typed JobFailed).
+
+    Carries the terminal diagnosis — ``job_id``, the failure ``kind``
+    (``"WorkerDeath"``, ``"StageTimeout"``, an exception class name,
+    ...), the attempt count and the *partial provenance*: the
+    per-stage records the job streamed before dying, so a post-mortem
+    sees exactly how far each attempt got.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        message: str,
+        *,
+        kind: str | None = None,
+        attempts: int = 0,
+        stages: list[dict] | None = None,
+    ) -> None:
+        self.job_id = str(job_id)
+        self.kind = kind
+        self.attempts = int(attempts)
+        self.stages = list(stages or [])
+        done = ", ".join(s.get("stage", "?") for s in self.stages)
+        super().__init__(
+            f"job {job_id} failed after {attempts} attempt(s)"
+            + (f" [{kind}]" if kind else "")
+            + f": {message}"
+            + (f" (stages completed: {done})" if done else "")
+        )
 
 
 class PartitionError(ResilienceError):

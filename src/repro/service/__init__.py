@@ -1,0 +1,34 @@
+"""The ``repro serve`` job service: a resilient scenario daemon over
+the cross-process artifact store.
+
+Three layers, no hard dependencies beyond the standard library:
+
+* :mod:`repro.service.queue` — a crash-safe filesystem spool
+  (``pending/ → running/ → done|failed/``) with content-addressed job
+  ids, atomic rename-based claiming and typed
+  :class:`~repro.service.queue.JobStatus` records;
+* :mod:`repro.service.daemon` — the long-running worker: claims jobs,
+  runs each scenario chain in a child process (so a worker death is a
+  recoverable event, not a daemon crash), retries with the runtime's
+  :class:`~repro.runtime.executor.RetryPolicy` backoff, enforces a
+  per-stage progress watchdog, and streams per-stage provenance back
+  through the spool;
+* :mod:`repro.service.client` — submit / poll / wait / fetch.
+
+Deduplication is by content address twice over: identical requests
+collapse to one job id in the spool, and distinct jobs sharing a chain
+prefix share the underlying artifacts through the store's per-digest
+claims — N concurrent workers never recompute one digest.
+"""
+
+from .client import ServiceClient
+from .daemon import ServeDaemon
+from .queue import JobRequest, JobStatus, SpoolQueue
+
+__all__ = [
+    "JobRequest",
+    "JobStatus",
+    "SpoolQueue",
+    "ServeDaemon",
+    "ServiceClient",
+]

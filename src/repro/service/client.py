@@ -1,0 +1,108 @@
+"""Client side of the ``repro serve`` spool protocol.
+
+``ServiceClient`` talks to the same filesystem spool the daemon polls:
+submit a :class:`~repro.service.queue.JobRequest` (content-addressed —
+identical requests dedupe to one job), poll its typed
+:class:`~repro.service.queue.JobStatus`, block until it reaches a
+terminal state, and fetch the result — raising the typed
+:class:`~repro.resilience.errors.JobFailedError` (with the partial
+per-stage provenance intact) when the daemon gave up on it.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from ..resilience.errors import JobFailedError
+from .queue import JobRequest, JobStatus, SpoolQueue
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Submit / poll / wait / fetch against one spool root."""
+
+    def __init__(self, spool: str | Path | SpoolQueue) -> None:
+        self.queue = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        scenario: str,
+        *,
+        options: dict[str, Any] | None = None,
+        through: str = "schedule",
+    ) -> str:
+        """Enqueue a scenario request; returns its (deduped) job id."""
+        request = JobRequest(
+            scenario=scenario,
+            options=dict(options or {}),
+            through=through,
+        )
+        return self.queue.submit(request)
+
+    def status(self, job_id: str) -> JobStatus | None:
+        """Current typed status (``None`` for an unknown id)."""
+        return self.queue.status(job_id)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.1,
+    ) -> JobStatus:
+        """Block until the job is terminal (``done`` or ``failed``).
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first and
+        :class:`KeyError` for an unknown job id.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.queue.status(job_id)
+            if status is None:
+                raise KeyError(f"unknown job id {job_id!r}")
+            if status.state in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.1,
+    ) -> dict[str, Any]:
+        """The result payload of a completed job (waits if needed).
+
+        Raises :class:`~repro.resilience.errors.JobFailedError` for a
+        job that reached the typed ``failed`` state.
+        """
+        status = self.wait(job_id, timeout=timeout, poll=poll)
+        if status.state == "failed":
+            raise JobFailedError(
+                job_id,
+                status.error or "job failed",
+                kind=status.error_kind,
+                attempts=status.attempts,
+                stages=status.stages,
+            )
+        return dict(status.result or {})
+
+    def run(
+        self,
+        scenario: str,
+        *,
+        options: dict[str, Any] | None = None,
+        through: str = "schedule",
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit and block for the result (one-call convenience)."""
+        job_id = self.submit(scenario, options=options, through=through)
+        return self.result(job_id, timeout=timeout)

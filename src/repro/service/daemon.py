@@ -1,0 +1,413 @@
+"""The ``repro serve`` daemon: a resilient scenario-serving worker.
+
+The daemon polls a :class:`~repro.service.queue.SpoolQueue`, claims
+jobs, and runs each scenario chain **in a child process** — the unit
+of failure is the job, not the daemon.  A worker that dies mid-stage
+(segfault, OOM-kill, a chaos harness's injected kill) is observed as a
+child exit, retried with the runtime's
+:class:`~repro.runtime.executor.RetryPolicy` exponential backoff, and
+only after the budget is exhausted surfaced as a typed ``JobFailed``
+record — with the per-stage provenance the job managed to stream
+before dying intact.
+
+Robustness properties:
+
+* **per-stage watchdog** — the child streams a progress record after
+  every pipeline stage; if no progress lands within ``watchdog``
+  seconds the child is terminated and the attempt counts as a worker
+  death (retryable);
+* **crash-safe store** — the child runs against the cross-process
+  artifact store, so a retried attempt reuses every stage the dead
+  attempt already published, and concurrent daemons sharing a store
+  never recompute one digest;
+* **graceful degradation** — disk-full/permission errors inside the
+  store drop it to memory-only with a warning instead of failing the
+  job (see :class:`~repro.pipeline.store.ArtifactStore`);
+* **orphan recovery** — on startup, running jobs whose daemon pid is
+  dead are requeued (:meth:`SpoolQueue.recover_orphans`).
+
+Chaos hook: a seeded
+:class:`~repro.resilience.faults.FaultPlan` may be installed; its
+``transient`` decisions kill the job's child process after its first
+completed stage — deterministic worker death for the chaos suite, in
+exactly the idiom the campaign driver uses for task-level faults.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import socket
+import time
+import warnings
+from pathlib import Path
+from typing import Any
+
+from ..resilience.faults import FaultPlan
+from ..runtime.executor import RetryPolicy
+from .queue import JobRequest, JobStatus, SpoolQueue
+
+__all__ = ["ServeDaemon"]
+
+#: Child exit codes (picked clear of Python/shell conventions).
+_EXIT_TRANSIENT = 75  # EX_TEMPFAIL: retryable typed failure
+_EXIT_PERMANENT = 70  # EX_SOFTWARE: typed permanent failure
+_EXIT_CHAOS = 86  # injected worker death (chaos harness)
+
+
+def _atomic_json(path: Path, payload: dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _child_main(
+    request_dict: dict[str, Any],
+    store_root: str | None,
+    workdir: str,
+    chaos_kill_after: str | None = None,
+) -> None:
+    """Job body, run in a spawned child process.
+
+    Streams a progress record after every completed stage (the
+    parent's watchdog heartbeat *and* the partial provenance a failed
+    job reports), then an atomic result file.  Typed failures exit
+    with a dedicated code and leave an error record; anything that
+    kills the process outright is the parent's problem to observe.
+    """
+    work = Path(workdir)
+    progress_path = work / "progress.json"
+    result_path = work / "result.json"
+    error_path = work / "error.json"
+    try:
+        from ..pipeline import ArtifactStore, Pipeline, get_scenario
+        from ..pipeline.stages import STAGE_ORDER
+        from ..resilience.errors import TransientError
+
+        try:
+            request = JobRequest.from_dict(request_dict)
+            scenario = get_scenario(request.scenario, **request.options)
+            store = (
+                ArtifactStore(store_root) if store_root else None
+            )
+            pipe = Pipeline(store)
+            stop = STAGE_ORDER.index(request.through)
+            stages: list[dict[str, Any]] = []
+            rec = None
+            for name in STAGE_ORDER[: stop + 1]:
+                rec = pipe.run(scenario, through=name)
+                sr = rec.provenance[name]
+                stages.append(
+                    {
+                        "stage": name,
+                        "digest": sr.digest,
+                        "cache": sr.cache,
+                        "wall_time": sr.wall_time,
+                        "finished_at": time.time(),
+                    }
+                )
+                _atomic_json(
+                    progress_path,
+                    {"stages": stages, "heartbeat": time.time()},
+                )
+                if chaos_kill_after == name:
+                    os._exit(_EXIT_CHAOS)  # injected worker death
+            result: dict[str, Any] = {"stages": stages}
+            if rec is not None and rec.metrics is not None:
+                result["metrics"] = {
+                    "makespan": float(rec.metrics.makespan),
+                    "efficiency": float(rec.metrics.efficiency),
+                }
+            result["cache_hits"] = rec.cache_hits if rec is not None else 0
+            if store is not None and store.stats.degraded:
+                result["store_degraded"] = store.stats.degraded
+            _atomic_json(result_path, result)
+        except TransientError as exc:
+            _atomic_json(
+                error_path,
+                {"kind": "TransientError", "message": str(exc)},
+            )
+            os._exit(_EXIT_TRANSIENT)
+        except Exception as exc:  # typed permanent failure
+            _atomic_json(
+                error_path,
+                {"kind": type(exc).__name__, "message": str(exc)},
+            )
+            os._exit(_EXIT_PERMANENT)
+    except BaseException:
+        # Last resort (import failure, broken workdir): die visibly so
+        # the parent counts a worker death instead of hanging.
+        os._exit(1)
+
+
+class ServeDaemon:
+    """Claim → run-in-child → retry → publish, forever (or bounded).
+
+    Parameters
+    ----------
+    spool:
+        Spool root directory (shared with clients) or a
+        :class:`SpoolQueue`.
+    store_root:
+        Artifact-store root the job children run against (``None`` =
+        each child memory-only; normally the shared ``--artifacts``
+        dir).
+    retry:
+        :class:`RetryPolicy` for worker deaths and transient job
+        failures (``max_retries`` per job, exponential ``backoff``).
+        ``None`` uses ``RetryPolicy(max_retries=2)``.
+    watchdog:
+        Per-stage progress deadline in seconds; a child that streams
+        no progress for this long is terminated and retried.  ``None``
+        disables it.
+    poll:
+        Spool poll interval while idle.
+    fault_plan:
+        Optional seeded chaos hook (see module docstring).
+    """
+
+    def __init__(
+        self,
+        spool: str | Path | SpoolQueue,
+        *,
+        store_root: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        watchdog: float | None = None,
+        poll: float = 0.2,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.queue = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+        self.store_root = str(store_root) if store_root is not None else None
+        self.retry = retry if retry is not None else RetryPolicy(max_retries=2)
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError("watchdog deadline must be positive")
+        self.watchdog = watchdog
+        self.poll = poll
+        self.fault_plan = fault_plan
+        self._job_seq = 0
+        self._ctx = multiprocessing.get_context("spawn")
+
+    # ------------------------------------------------------------------
+    def recover(self) -> list[str]:
+        """Requeue orphaned running jobs (call once at startup)."""
+        orphans = self.queue.recover_orphans()
+        for job_id in orphans:
+            warnings.warn(
+                f"requeued orphaned job {job_id} (its daemon is gone)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return orphans
+
+    def serve_forever(
+        self,
+        *,
+        max_jobs: int | None = None,
+        idle_timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> int:
+        """Process jobs until a bound trips; returns the job count.
+
+        ``max_jobs`` stops after N jobs; ``idle_timeout`` stops after
+        that many seconds without work; ``deadline`` is an absolute
+        wall budget in seconds.
+        """
+        self.recover()
+        done = 0
+        t0 = time.monotonic()
+        idle_since = time.monotonic()
+        while True:
+            if max_jobs is not None and done >= max_jobs:
+                return done
+            if deadline is not None and time.monotonic() - t0 > deadline:
+                return done
+            claimed = self.queue.claim_next()
+            if claimed is None:
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - idle_since > idle_timeout
+                ):
+                    return done
+                time.sleep(self.poll)
+                continue
+            idle_since = time.monotonic()
+            job_id, request, record = claimed
+            self.process_job(job_id, request, record)
+            done += 1
+
+    # ------------------------------------------------------------------
+    def process_job(
+        self,
+        job_id: str,
+        request: JobRequest,
+        record: dict[str, Any] | None = None,
+    ) -> JobStatus:
+        """Run one claimed job to a terminal state (with retries)."""
+        self._job_seq += 1
+        seq = self._job_seq
+        status = JobStatus(
+            job_id=job_id,
+            state="running",
+            request=request.to_dict(),
+            submitted_at=float((record or {}).get("submitted_at") or 0.0),
+            started_at=time.time(),
+            worker={
+                "daemon_pid": os.getpid(),
+                "hostname": socket.gethostname(),
+            },
+        )
+        workdir = self.queue.root / "work" / job_id
+        policy = self.retry
+        attempt = 0
+        while True:
+            status.attempts = attempt + 1
+            self.queue.write_status(status)
+            outcome, detail = self._run_attempt(
+                job_id, request, workdir, status, seq, attempt
+            )
+            if outcome == "done":
+                status.state = "done"
+                status.result = detail
+                status.stages = list(detail.get("stages") or status.stages)
+                status.finished_at = time.time()
+                break
+            retryable = outcome in ("death", "timeout", "transient")
+            if retryable and attempt < policy.max_retries:
+                delay = policy.delay(attempt + 1)
+                warnings.warn(
+                    f"job {job_id} attempt {attempt + 1} failed "
+                    f"({outcome}: {detail.get('message')}); retrying"
+                    + (f" in {delay:.3g}s" if delay > 0 else ""),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            # Typed JobFailed: terminal, with partial provenance.
+            status.state = "failed"
+            status.error = str(detail.get("message") or outcome)
+            status.error_kind = str(detail.get("kind") or outcome)
+            status.finished_at = time.time()
+            break
+        self.queue.finish(job_id, status)
+        shutil.rmtree(workdir, ignore_errors=True)
+        return status
+
+    # ------------------------------------------------------------------
+    def _chaos_kill_stage(self, seq: int, attempt: int) -> str | None:
+        """Seeded worker-death injection (chaos suite only)."""
+        if self.fault_plan is None:
+            return None
+        hits = self.fault_plan.decide(seq, attempt)
+        if any(s.kind == "transient" for s in hits):
+            with self.fault_plan._lock:
+                self.fault_plan.injected["worker_death"] += 1
+            from ..pipeline.stages import STAGE_ORDER
+
+            return STAGE_ORDER[0]
+        return None
+
+    def _run_attempt(
+        self,
+        job_id: str,
+        request: JobRequest,
+        workdir: Path,
+        status: JobStatus,
+        seq: int,
+        attempt: int,
+    ) -> tuple[str, dict[str, Any]]:
+        """One child-process attempt.
+
+        Returns ``(outcome, detail)`` with outcome one of ``"done"``,
+        ``"death"``, ``"timeout"``, ``"transient"``, ``"permanent"``.
+        """
+        shutil.rmtree(workdir, ignore_errors=True)
+        workdir.mkdir(parents=True, exist_ok=True)
+        progress_path = workdir / "progress.json"
+        result_path = workdir / "result.json"
+        error_path = workdir / "error.json"
+
+        child = self._ctx.Process(
+            target=_child_main,
+            args=(
+                request.to_dict(),
+                self.store_root,
+                str(workdir),
+                self._chaos_kill_stage(seq, attempt),
+            ),
+            daemon=True,
+        )
+        child.start()
+        status.worker["child_pid"] = child.pid
+        last_progress = time.monotonic()
+        last_mtime = 0.0
+        timed_out = False
+        while True:
+            child.join(timeout=min(self.poll, 0.1))
+            try:
+                mtime = progress_path.stat().st_mtime
+            except OSError:
+                mtime = 0.0
+            if mtime > last_mtime:
+                last_mtime = mtime
+                last_progress = time.monotonic()
+                progress = _read_json(progress_path)
+                if progress is not None:
+                    status.stages = list(progress.get("stages") or [])
+            status.heartbeat = time.time()
+            self.queue.write_status(status)
+            if not child.is_alive():
+                break
+            if (
+                self.watchdog is not None
+                and time.monotonic() - last_progress > self.watchdog
+            ):
+                timed_out = True
+                child.terminate()
+                child.join(timeout=5.0)
+                if child.is_alive():  # pragma: no cover - defensive
+                    child.kill()
+                    child.join(timeout=5.0)
+                break
+        code = child.exitcode
+        child.close()
+        if timed_out:
+            return "timeout", {
+                "kind": "StageTimeout",
+                "message": (
+                    f"no stage progress for {self.watchdog:g}s "
+                    f"(attempt {attempt + 1})"
+                ),
+            }
+        if code == 0:
+            result = _read_json(result_path)
+            if result is None:
+                return "death", {
+                    "kind": "WorkerDeath",
+                    "message": "child exited cleanly but left no result",
+                }
+            return "done", result
+        error = _read_json(error_path)
+        if code == _EXIT_TRANSIENT:
+            return "transient", error or {
+                "kind": "TransientError",
+                "message": "transient job failure",
+            }
+        if code == _EXIT_PERMANENT and error is not None:
+            return "permanent", error
+        return "death", {
+            "kind": "WorkerDeath",
+            "message": f"worker died with exit code {code}",
+        }

@@ -1,0 +1,333 @@
+"""Crash-safe filesystem job spool for the ``repro serve`` daemon.
+
+Layout (under one spool root)::
+
+    <spool>/pending/<job_id>.json         submitted requests
+    <spool>/running/<job_id>.json         claimed by a daemon
+    <spool>/running/<job_id>.status.json  streamed progress snapshots
+    <spool>/done/<job_id>.json            terminal: completed status
+    <spool>/failed/<job_id>.json          terminal: typed JobFailed status
+
+Every transition is a single atomic ``os.replace``, so a daemon (or
+client) killed at any instant leaves the spool in a consistent state:
+a job is in exactly one of the four directories, and a request file is
+never observed half-written.  Claiming is rename-based — N daemons
+polling one spool race on ``os.replace(pending/x, running/x)`` and
+exactly one wins.
+
+Job ids are **content addresses** (SHA-256 over the canonical request
+JSON), so resubmitting an identical request deduplicates: the client
+gets the id of the in-flight or already-completed job instead of a
+second compute.
+
+The protocol is plain JSON files; no sockets, no new dependencies —
+any process that can see the filesystem can submit and poll, which is
+exactly the paper's shared-cluster setting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..pipeline.hashing import canonical_json
+from ..pipeline.stages import STAGE_ORDER
+
+__all__ = ["JobRequest", "JobStatus", "SpoolQueue", "JOB_STATES"]
+
+#: Spool subdirectories, in lifecycle order.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One scenario request (the unit of ``repro serve`` work).
+
+    ``scenario`` names a registry entry; ``options`` are leaf-config
+    overrides (``domains=64``, ``strategy="MC_TL"``, ...); ``through``
+    stops the chain early (any of the pipeline's stage names).
+    """
+
+    scenario: str
+    options: dict[str, Any] = field(default_factory=dict)
+    through: str = "schedule"
+
+    def __post_init__(self) -> None:
+        if self.through not in STAGE_ORDER:
+            raise ValueError(
+                f"unknown stage {self.through!r}; choose from {STAGE_ORDER}"
+            )
+
+    def job_id(self) -> str:
+        """Content address of this request (dedup key)."""
+        payload = canonical_json(
+            {
+                "scenario": self.scenario,
+                "options": self.options,
+                "through": self.through,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRequest":
+        return cls(
+            scenario=str(data["scenario"]),
+            options=dict(data.get("options") or {}),
+            through=str(data.get("through", "schedule")),
+        )
+
+
+@dataclass
+class JobStatus:
+    """Typed job status/provenance record streamed through the spool.
+
+    ``stages`` accumulates per-stage provenance (stage name, digest,
+    cache source, wall time) as the job progresses, and survives into
+    the terminal record — a failed job still reports the prefix it
+    completed (*partial provenance*).
+    """
+
+    job_id: str
+    state: str  # one of JOB_STATES
+    request: dict[str, Any] = field(default_factory=dict)
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    worker: dict[str, Any] = field(default_factory=dict)
+    stages: list[dict[str, Any]] = field(default_factory=list)
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    error_kind: str | None = None
+    heartbeat: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobStatus":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _atomic_json(path: Path, payload: dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class SpoolQueue:
+    """The filesystem spool (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        for state in JOB_STATES:
+            (self.root / state).mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+    def _job_path(self, state: str, job_id: str) -> Path:
+        return self.root / state / f"{job_id}.json"
+
+    def _status_path(self, job_id: str) -> Path:
+        return self.root / "running" / f"{job_id}.status.json"
+
+    # -- submission --------------------------------------------------------
+    def submit(self, request: JobRequest) -> str:
+        """Enqueue a request; returns its job id.
+
+        Content-addressed dedup: if an identical request is already
+        pending, running, done or failed, no new job is created and
+        the existing id is returned.
+        """
+        job_id = request.job_id()
+        for state in ("done", "running", "pending", "failed"):
+            if self._job_path(state, job_id).exists():
+                return job_id
+        record = {
+            "job_id": job_id,
+            "request": request.to_dict(),
+            "submitted_at": time.time(),
+        }
+        _atomic_json(self._job_path("pending", job_id), record)
+        return job_id
+
+    def resubmit(self, job_id: str) -> bool:
+        """Move a failed job back to pending (retry after a fix)."""
+        src = self._job_path("failed", job_id)
+        record = _read_json(src)
+        if record is None:
+            return False
+        fresh = {
+            "job_id": job_id,
+            "request": record.get("request", {}),
+            "submitted_at": time.time(),
+        }
+        _atomic_json(self._job_path("pending", job_id), fresh)
+        try:
+            src.unlink()
+        except OSError:
+            pass
+        return True
+
+    # -- daemon side -------------------------------------------------------
+    def claim_next(self) -> tuple[str, JobRequest, dict[str, Any]] | None:
+        """Atomically claim the oldest pending job (``None`` if idle).
+
+        Rename-based: of N daemons racing on one spool, exactly one
+        ``os.replace`` succeeds per job.
+        """
+        pending = self.root / "pending"
+        try:
+            candidates = sorted(
+                pending.glob("*.json"), key=lambda p: p.stat().st_mtime
+            )
+        except OSError:
+            return None
+        for path in candidates:
+            target = self.root / "running" / path.name
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                continue  # another daemon won this one
+            except OSError:
+                continue
+            record = _read_json(target)
+            if record is None or "request" not in record:
+                # Unreadable request: fail it with evidence rather
+                # than looping on it forever.
+                status = JobStatus(
+                    job_id=path.stem,
+                    state="failed",
+                    error="unreadable job request",
+                    error_kind="CorruptRequest",
+                    finished_at=time.time(),
+                )
+                self.finish(path.stem, status)
+                continue
+            try:
+                request = JobRequest.from_dict(record["request"])
+            except (KeyError, TypeError, ValueError) as exc:
+                status = JobStatus(
+                    job_id=path.stem,
+                    state="failed",
+                    request=dict(record.get("request") or {}),
+                    error=f"invalid job request: {exc}",
+                    error_kind="InvalidRequest",
+                    finished_at=time.time(),
+                )
+                self.finish(path.stem, status)
+                continue
+            return path.stem, request, record
+        return None
+
+    def write_status(self, status: JobStatus) -> None:
+        """Stream a progress snapshot for a running job (atomic)."""
+        _atomic_json(self._status_path(status.job_id), status.to_dict())
+
+    def finish(self, job_id: str, status: JobStatus) -> None:
+        """Move a job to its terminal directory with its final status."""
+        if status.state not in ("done", "failed"):
+            raise ValueError(f"terminal state expected, got {status.state!r}")
+        _atomic_json(self._job_path(status.state, job_id), status.to_dict())
+        for leftover in (
+            self._job_path("running", job_id),
+            self._status_path(job_id),
+        ):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+
+    def recover_orphans(self, *, requeue: bool = True) -> list[str]:
+        """Requeue running jobs whose worker daemon is gone.
+
+        Called at daemon startup: a job stuck in ``running/`` whose
+        recorded worker pid is dead (or that has no status at all) was
+        orphaned by a crash; it goes back to ``pending`` so the work is
+        not lost.
+        """
+        from ..pipeline.locking import pid_alive
+
+        orphans: list[str] = []
+        for path in (self.root / "running").glob("*.json"):
+            if path.name.endswith(".status.json"):
+                continue
+            job_id = path.stem
+            status = _read_json(self._status_path(job_id))
+            pid = (status or {}).get("worker", {}).get("daemon_pid")
+            if pid is not None and pid_alive(int(pid)) and pid != os.getpid():
+                continue  # genuinely still being worked on
+            orphans.append(job_id)
+            if requeue:
+                record = _read_json(path) or {}
+                fresh = {
+                    "job_id": job_id,
+                    "request": record.get("request", {}),
+                    "submitted_at": time.time(),
+                    "recovered": True,
+                }
+                _atomic_json(self._job_path("pending", job_id), fresh)
+                for leftover in (path, self._status_path(job_id)):
+                    try:
+                        leftover.unlink()
+                    except OSError:
+                        pass
+        return orphans
+
+    # -- client side ---------------------------------------------------
+    def status(self, job_id: str) -> JobStatus | None:
+        """The current status of a job, wherever it is in the spool."""
+        for state in ("done", "failed"):
+            data = _read_json(self._job_path(state, job_id))
+            if data is not None:
+                data.setdefault("state", state)
+                return JobStatus.from_dict(data)
+        if self._job_path("running", job_id).exists():
+            data = _read_json(self._status_path(job_id))
+            if data is not None:
+                data.setdefault("state", "running")
+                return JobStatus.from_dict(data)
+            record = _read_json(self._job_path("running", job_id)) or {}
+            return JobStatus(
+                job_id=job_id,
+                state="running",
+                request=dict(record.get("request") or {}),
+                submitted_at=float(record.get("submitted_at") or 0.0),
+            )
+        record = _read_json(self._job_path("pending", job_id))
+        if record is not None:
+            return JobStatus(
+                job_id=job_id,
+                state="pending",
+                request=dict(record.get("request") or {}),
+                submitted_at=float(record.get("submitted_at") or 0.0),
+            )
+        return None
+
+    def jobs(self) -> dict[str, list[str]]:
+        """Job ids by state (spool overview)."""
+        out: dict[str, list[str]] = {}
+        for state in JOB_STATES:
+            out[state] = sorted(
+                p.stem
+                for p in (self.root / state).glob("*.json")
+                if not p.name.endswith(".status.json")
+            )
+        return out

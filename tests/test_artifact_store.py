@@ -1,16 +1,24 @@
-"""Artifact-store tests: content addresses, hit/miss, self-healing.
+"""Artifact-store tests: content addresses, hit/miss, self-healing,
+cross-process claims, quarantine, LRU eviction, degradation.
 
-Covers the PR's cache satellite: digest stability across processes,
-memory/disk hit behaviour, corruption detection (truncated ``.npz``,
-mismatched sidecar) with recompute-and-overwrite, and bit-for-bit
-round-tripping of a cached MC_TL partition.
+Covers the cache satellite (digest stability across processes,
+memory/disk hit behaviour, corruption detection with
+recompute-and-overwrite, bit-for-bit round-tripping) and the
+crash-safe cross-process tier: per-digest locks and claims, the
+stale-claim takeover paths, the token-guarded publish, the disk byte
+budget, ``store doctor``, and two whole *processes* sharing one store
+without recomputing a single digest.
 """
 
 from __future__ import annotations
 
+import errno
 import json
+import os
+import socket
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -18,13 +26,16 @@ import pytest
 
 from repro.pipeline import (
     ArtifactStore,
+    FileLock,
     MeshConfig,
     PartitionConfig,
     Pipeline,
     Scenario,
+    acquire_claim,
     canonical_json,
     stage_digest,
 )
+from repro.pipeline.locking import claim_is_stale, parse_bytes
 
 SCENARIO = Scenario.standard(
     "cube", domains=4, processes=2, cores=2, strategy="MC_TL", scale=6
@@ -216,3 +227,405 @@ class TestRoundTrip:
         assert sc["stage_version"] == 1
         assert sc["wall_time"] >= 0
         assert json.loads(sc["config"])["strategy"] == "MC_TL"
+
+
+class TestFileLock:
+    def test_mutual_exclusion_and_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        a, b = FileLock(path), FileLock(path)
+        assert a.try_acquire()
+        assert not b.try_acquire()
+        a.release()
+        assert b.try_acquire()
+        b.release()
+
+    def test_blocking_acquire_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        a, b = FileLock(path), FileLock(path)
+        assert a.try_acquire()
+        assert not b.acquire(timeout=0.2, poll=0.02)
+        a.release()
+        assert b.acquire(timeout=0.2)
+        b.release()
+
+
+class TestClaims:
+    def _claim(self, **over) -> dict:
+        record = {
+            "pid": os.getpid(),
+            "hostname": socket.gethostname(),
+            "started_at": time.time(),
+            "heartbeat": time.time(),
+            "token": "tok",
+        }
+        record.update(over)
+        return record
+
+    def test_fresh_live_claim_is_not_stale(self):
+        assert not claim_is_stale(self._claim(), ttl=30.0)
+
+    def test_old_heartbeat_is_stale(self):
+        old = self._claim(heartbeat=time.time() - 100.0)
+        assert claim_is_stale(old, ttl=30.0)
+
+    def test_dead_pid_is_stale_despite_fresh_heartbeat(self):
+        dead = self._claim(pid=2**22 + 12345)  # vanishingly unlikely pid
+        assert claim_is_stale(dead, ttl=30.0)
+
+    def test_winner_then_reader(self, tmp_path):
+        base = tmp_path / "stage" / ("d" * 8)
+        published = {"yes": False}
+        lease = acquire_claim(
+            base, published=lambda: published["yes"], ttl=5.0, timeout=5.0
+        )
+        assert lease.role == "winner"
+        assert lease.still_owner()
+        published["yes"] = True
+        lease.release()
+        reader = acquire_claim(
+            base, published=lambda: published["yes"], ttl=5.0, timeout=5.0
+        )
+        assert reader.role == "reader"
+        reader.release()
+
+    def test_dead_holder_claim_is_reclaimed(self, tmp_path):
+        base = tmp_path / "stage" / ("e" * 8)
+        base.parent.mkdir(parents=True)
+        claim_path = base.with_name(base.name + ".claim")
+        claim_path.write_text(
+            json.dumps(self._claim(pid=2**22 + 54321, token="dead"))
+        )
+        with pytest.warns(RuntimeWarning, match="reclaiming stale claim"):
+            lease = acquire_claim(
+                base, published=lambda: False, ttl=5.0, timeout=5.0
+            )
+        assert lease.role == "winner"
+        assert lease.reclaimed
+        lease.release()
+        assert not claim_path.exists()
+
+    def test_live_but_stale_holder_is_deposed(self, tmp_path):
+        """A holder whose heartbeat looks ancient (skewed clock) is
+        taken over by overwriting the claim; its token dies with it."""
+        base = tmp_path / "stage" / ("f" * 8)
+        base.parent.mkdir(parents=True)
+        holder_lock = FileLock(base.with_name(base.name + ".lock"))
+        assert holder_lock.try_acquire()  # a "live" holder elsewhere
+        claim_path = base.with_name(base.name + ".claim")
+        claim_path.write_text(
+            json.dumps(self._claim(heartbeat=time.time() - 3600, token="old"))
+        )
+        with pytest.warns(RuntimeWarning, match="taking over stale claim"):
+            lease = acquire_claim(
+                base, published=lambda: False, ttl=0.5, timeout=10.0
+            )
+        assert lease.role == "winner"
+        assert lease.deposed_holder
+        # the deposed holder's token no longer matches the claim
+        assert json.loads(claim_path.read_text())["token"] == lease.token
+        lease.release()
+        holder_lock.release()
+
+    def test_deposed_winner_drops_publish(self, tmp_path):
+        """The token guard: a winner whose claim was taken over must
+        not land its publish (stats.publishes_dropped)."""
+        store = ArtifactStore(tmp_path / "store", claim_ttl=5.0)
+        lease = store.claim("mesh", "a" * 40)
+        assert lease is not None and lease.role == "winner"
+        # simulate a takeover while computing
+        lease.claim_path.write_text(
+            json.dumps(self._claim(token="usurper"))
+        )
+        with pytest.warns(RuntimeWarning, match="dropping publish"):
+            out = store.disk_write(
+                "mesh",
+                "a" * 40,
+                {"x": np.arange(4.0)},
+                sidecar={"meta": {}},
+                lease=lease,
+            )
+        assert out is None
+        assert store.stats.publishes_dropped == 1
+        assert not (tmp_path / "store" / "mesh" / ("a" * 40 + ".json")).exists()
+        lease.release()
+
+    def test_store_claim_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", claim_ttl=5.0)
+        lease = store.claim("mesh", "b" * 40)
+        assert store.stats.claims_won == 1
+        store.disk_write(
+            "mesh", "b" * 40, {"x": np.arange(4.0)},
+            sidecar={"meta": {}}, lease=lease,
+        )
+        lease.release()
+        reader = store.claim("mesh", "b" * 40)
+        assert reader.role == "reader"
+        assert store.stats.claims_waited == 1
+        reader.release()
+
+    def test_parse_bytes(self):
+        assert parse_bytes(None) is None
+        assert parse_bytes("") is None
+        assert parse_bytes("1024") == 1024
+        assert parse_bytes("512M") == 512 * 2**20
+        assert parse_bytes("2G") == 2 * 2**30
+        assert parse_bytes(42) == 42
+        with pytest.raises(ValueError, match="unparsable byte budget"):
+            parse_bytes("lots")
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_with_reason(self, disk_store):
+        pipe = Pipeline(disk_store)
+        rec = pipe.run(SCENARIO, through="levels")
+        digest = rec.provenance["levels"].digest
+        npz = disk_store.root / "levels" / f"{digest}.npz"
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        disk_store.clear_memory()
+        with pytest.warns(RuntimeWarning, match="quarantining"):
+            assert disk_store.disk_read("levels", digest) is None
+        assert disk_store.stats.quarantined == 1
+        qdir = disk_store.root / ".quarantine"
+        names = {p.name for p in qdir.iterdir()}
+        assert f"levels__{digest}.npz" in names
+        reason = json.loads(
+            (qdir / f"levels__{digest}.reason.json").read_text()
+        )
+        assert reason["stage"] == "levels"
+        assert reason["digest"] == digest
+        assert "reason" in reason
+
+
+class TestDoctor:
+    def test_reports_entries_claims_and_quarantine(self, disk_store):
+        pipe = Pipeline(disk_store)
+        pipe.run(SCENARIO, through="levels")
+        # a stale claim, an active claim, a tmp leftover, a corpse
+        stage_dir = disk_store.root / "mesh"
+        (stage_dir / "stale.claim").write_text(
+            json.dumps(
+                {
+                    "pid": 2**22 + 999,
+                    "hostname": socket.gethostname(),
+                    "heartbeat": time.time() - 9999,
+                    "token": "t",
+                }
+            )
+        )
+        (stage_dir / "live.claim").write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "hostname": socket.gethostname(),
+                    "heartbeat": time.time(),
+                    "token": "t",
+                }
+            )
+        )
+        (stage_dir / "junk.npz.tmp123").write_bytes(b"torn")
+        qdir = disk_store.root / ".quarantine"
+        qdir.mkdir()
+        (qdir / "mesh__deadbeef.npz").write_bytes(b"corpse")
+
+        report = disk_store.doctor()
+        assert report.entries == 2  # mesh + levels artifacts
+        assert not report.healthy
+        assert len(report.stale_claims) == 1
+        assert len(report.active_claims) == 1
+        assert report.tmp_files == ["mesh/junk.npz.tmp123"]
+        assert report.quarantined == ["mesh__deadbeef.npz"]
+        text = report.summary()
+        assert "needs attention" in text
+
+        flushed = disk_store.doctor(flush=True)
+        assert flushed.flushed == 3  # stale claim + tmp + corpse
+        after = disk_store.doctor()
+        assert after.healthy
+        assert after.entries == 2  # artifacts themselves untouched
+        assert len(after.active_claims) == 1  # live claim survives
+
+    def test_doctor_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ArtifactStore(tmp_path / "store")
+        store.disk_write(
+            "mesh", "c" * 40, {"x": np.arange(8.0)}, sidecar={"meta": {}}
+        )
+        rc = main(["--artifacts", str(tmp_path / "store"), "store", "doctor"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entries: 1" in out
+        assert "healthy" in out
+
+
+class TestEviction:
+    def _write(self, store, digest, *, mtime=None):
+        rng = np.random.default_rng(int(digest[:8], 16))
+        path = store.disk_write(
+            "mesh",
+            digest,
+            {"x": rng.random(2048)},  # incompressible ~16 KiB
+            sidecar={"meta": {}},
+        )
+        if path is not None and mtime is not None:
+            os.utime(path, times=(mtime, mtime))
+        return path
+
+    def test_lru_eviction_under_budget(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        self._write(probe, "0" * 40)
+        entries = probe._disk_entries()
+        entry_size = entries[0][1]
+
+        store = ArtifactStore(
+            tmp_path / "store", budget_bytes=int(entry_size * 2.5)
+        )
+        now = time.time()
+        digests = [f"{i}".rjust(40, "d") for i in range(4)]
+        for i, digest in enumerate(digests):
+            # strictly increasing recency: digest 0 is the LRU victim
+            self._write(store, digest, mtime=now - 100 + i)
+        assert store.stats.evicted >= 1
+        remaining = {d for _, _, _, d in store._disk_entries()}
+        assert digests[-1] in remaining  # the fresh write is protected
+        assert digests[0] not in remaining  # the LRU entry went first
+        total = sum(s for _, s, _, _ in store._disk_entries())
+        assert total <= store.budget_bytes
+
+    def test_disk_hit_bumps_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        self._write(store, "e" * 40, mtime=time.time() - 500)
+        _, json_path = store._paths("mesh", "e" * 40)
+        before = json_path.stat().st_mtime
+        assert store.disk_read("mesh", "e" * 40) is not None
+        assert json_path.stat().st_mtime > before
+
+    def test_eviction_skips_actively_claimed_digest(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        self._write(probe, "0" * 40)
+        entry_size = probe._disk_entries()[0][1]
+        store = ArtifactStore(
+            tmp_path / "store", budget_bytes=int(entry_size * 1.5)
+        )
+        now = time.time()
+        self._write(store, "a" * 40, mtime=now - 100)
+        # an active (fresh heartbeat, live pid) claim pins the entry
+        claim = store.root / "mesh" / ("a" * 40 + ".claim")
+        claim.write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "hostname": socket.gethostname(),
+                    "heartbeat": time.time(),
+                    "token": "t",
+                }
+            )
+        )
+        self._write(store, "b" * 40, mtime=now)
+        remaining = {d for _, _, _, d in store._disk_entries()}
+        assert "a" * 40 in remaining  # pinned despite being LRU
+
+
+class TestDegradation:
+    def test_disk_full_degrades_to_memory_only(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "store")
+
+        def boom(*a, **k):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.warns(RuntimeWarning, match="degraded to memory-only"):
+            out = store.disk_write(
+                "mesh", "f" * 40, {"x": np.arange(4.0)}, sidecar={"meta": {}}
+            )
+        assert out is None
+        assert not store.disk_enabled
+        assert "no space" in store.stats.degraded
+        monkeypatch.undo()
+        # degraded store serves from memory and never touches disk again
+        assert store.disk_read("mesh", "f" * 40) is None
+        assert store.claim("mesh", "f" * 40) is None
+        store.memory_put("f" * 40, "obj")
+        assert store.memory_get("f" * 40) == "obj"
+
+    def test_transient_write_error_does_not_degrade(
+        self, tmp_path, monkeypatch
+    ):
+        store = ArtifactStore(tmp_path / "store")
+
+        def boom(*a, **k):
+            raise OSError(errno.EIO, "I/O error")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.warns(RuntimeWarning, match="continuing uncached"):
+            out = store.disk_write(
+                "mesh", "g" * 40, {"x": np.arange(4.0)}, sidecar={"meta": {}}
+            )
+        assert out is None
+        monkeypatch.undo()
+        assert store.disk_enabled  # EIO is not an environmental fault
+        assert store.disk_write(
+            "mesh", "g" * 40, {"x": np.arange(4.0)}, sidecar={"meta": {}}
+        ) is not None
+
+
+_CONCURRENT_WORKER = """
+import hashlib, sys
+from repro.pipeline import ArtifactStore, Pipeline, Scenario
+
+store = ArtifactStore(sys.argv[1], claim_ttl=10.0, lock_timeout=120.0)
+pipe = Pipeline(store, n_jobs=1)
+sc = Scenario.standard(
+    "cube", domains=4, processes=2, cores=2, strategy="MC_TL", scale=6
+)
+rec = pipe.run(sc)
+for name, r in rec.provenance.items():
+    print("STAGE", name, r.digest, r.cache or "computed")
+print(
+    "RESULT",
+    rec.metrics.makespan,
+    hashlib.sha256(rec.decomp.domain.tobytes()).hexdigest(),
+)
+"""
+
+
+class TestConcurrentProcesses:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """Satellite acceptance: two simultaneous ``run_batch``-style
+        workers over one ``REPRO_ARTIFACTS`` dir produce bit-identical
+        artifacts and no digest is computed by both."""
+        root = tmp_path / "artifacts"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        ) + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _CONCURRENT_WORKER, str(root)],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outputs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err
+            outputs.append(out)
+
+        computed: dict[str, list[int]] = {}
+        results = []
+        for i, out in enumerate(outputs):
+            for line in out.splitlines():
+                parts = line.split()
+                if parts[0] == "STAGE" and parts[3] == "computed":
+                    computed.setdefault(parts[2], []).append(i)
+                elif parts[0] == "RESULT":
+                    results.append((parts[1], parts[2]))
+        # exactly one compute per digest across both processes
+        for digest, owners in computed.items():
+            assert len(owners) == 1, (digest, owners)
+        # and both ended with bit-identical results
+        assert results[0] == results[1]
