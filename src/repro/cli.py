@@ -30,15 +30,22 @@ Commands
     Run the seeded adversarial fuzzing harness (partition contracts,
     fast-vs-reference kernel differentials, task-DAG invariants).
 ``serve``
-    The resilient scenario job service over a filesystem spool:
-    ``serve run`` starts the daemon, ``serve submit``/``status``/
+    The overload-safe scenario job service over a filesystem spool:
+    ``serve run`` starts the daemon (drains on SIGTERM/SIGINT, sheds
+    load under resource pressure), ``serve submit``/``status``/
     ``result`` are the client side (content-addressed dedup, typed
-    JobFailed with partial provenance, worker-death retries).
+    JobFailed with partial provenance, worker-death retries,
+    admission-control rejections with a retry-after hint), ``serve
+    status --health`` reads the daemon's liveness/readiness/pressure
+    files, and ``serve deadletter list|show|retry|purge`` operates the
+    poison-job quarantine and its circuit breakers.
 ``store doctor``
     Inspect (or ``--flush``) the on-disk artifact store: entries,
     bytes, active/stale claims, quarantined corruption.
 ``gc``
-    Sweep stale shared-memory segments left by dead processes.
+    Sweep stale shared-memory segments left by dead processes; with
+    ``--spool DIR`` also dead daemons' spool litter (tmp files, orphan
+    work dirs).
 
 The global ``--artifacts DIR`` option (before the subcommand) enables
 the content-addressed on-disk artifact store for every command that
@@ -54,6 +61,7 @@ subcommand) to re-raise with the full traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -390,25 +398,106 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_deadletter(args: argparse.Namespace) -> int:
+    from .service import SpoolQueue
+
+    queue = SpoolQueue(args.spool)
+    sub = args.sub or "list"
+    if sub == "list":
+        entries = queue.deadletter_list()
+        for job_id in entries:
+            record = queue.deadletter_show(job_id) or {}
+            print(
+                f"{job_id}  attempts={record.get('attempts')}  "
+                f"[{record.get('error_kind')}] {record.get('error')}"
+            )
+        print(f"deadletter: {len(entries)} quarantined job(s)")
+        return 0
+    if sub == "show":
+        if not args.job_id:
+            raise ValueError("serve deadletter show needs --job-id")
+        record = queue.deadletter_show(args.job_id)
+        if record is None:
+            print(
+                f"repro: error: no dead-letter entry {args.job_id}",
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(record, indent=2))
+        return 0
+    if sub == "retry":
+        if not args.job_id:
+            raise ValueError("serve deadletter retry needs --job-id")
+        if not queue.deadletter_retry(args.job_id):
+            print(
+                f"repro: error: no dead-letter entry {args.job_id}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"deadletter: re-admitted {args.job_id} (breaker closed)"
+        )
+        return 0
+    # purge
+    purged = queue.deadletter_purge(args.job_id or None)
+    for job_id in purged:
+        print(f"deadletter: purged {job_id}")
+    print(f"deadletter: purged {len(purged)} entr(y/ies)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServeDaemon, ServiceClient
 
+    if args.action == "deadletter":
+        return _cmd_serve_deadletter(args)
+
     if args.action == "run":
         from .runtime import RetryPolicy
+        from .service import QueueLimits, SpoolQueue
 
+        limits = QueueLimits.from_env()
+        if args.max_pending is not None or args.max_pending_bytes is not None:
+            from .pipeline.locking import parse_bytes
+
+            limits = QueueLimits(
+                max_pending=(
+                    args.max_pending
+                    if args.max_pending is not None
+                    else limits.max_pending
+                ),
+                max_pending_bytes=(
+                    parse_bytes(args.max_pending_bytes)
+                    if args.max_pending_bytes is not None
+                    else limits.max_pending_bytes
+                ),
+            )
         daemon = ServeDaemon(
-            args.spool,
+            SpoolQueue(args.spool, limits=limits),
             store_root=args.artifacts,
             retry=RetryPolicy(
                 max_retries=args.retries, backoff=args.backoff
             ),
             watchdog=args.watchdog,
+            workers=args.workers,
+            drain_grace=args.drain_grace,
         )
         n = daemon.serve_forever(
             max_jobs=args.max_jobs, idle_timeout=args.idle_timeout
         )
+        if daemon.forced:
+            print("serve: force-quit while draining", file=sys.stderr)
+        elif daemon.draining:
+            print("serve: drained cleanly")
         print(f"serve: processed {n} job(s)")
-        return 0
+        return 1 if daemon.forced else 0
+
+    if args.action == "status" and args.health:
+        from .service import read_health
+
+        health = read_health(args.spool)
+        print(json.dumps(health, indent=2))
+        return 0 if health["live"] and health["ready"] else 1
 
     client = ServiceClient(args.spool)
     if args.action == "submit":
@@ -421,7 +510,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 raise ValueError(f"--set expects key=value, got {item!r}")
             options[key] = _parse_option_value(key, raw)
         job_id = client.submit(
-            args.scenario, options=options, through=args.through
+            args.scenario,
+            options=options,
+            through=args.through,
+            block=args.block,
+            timeout=args.timeout,
         )
         print(job_id)
         if not args.wait:
@@ -460,7 +553,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # status
     if not args.job_id:
-        raise ValueError("serve status needs --job-id")
+        raise ValueError("serve status needs --job-id (or --health)")
     status = client.status(args.job_id)
     if status is None:
         print(f"repro: error: unknown job {args.job_id}", file=sys.stderr)
@@ -468,6 +561,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     line = f"{status.job_id}  {status.state}  attempts={status.attempts}"
     if status.stages:
         line += "  stages=" + ",".join(s["stage"] for s in status.stages)
+    if status.degradation:
+        line += "  degraded=" + ";".join(status.degradation)
     if status.error:
         line += f"  error[{status.error_kind}]={status.error}"
     print(line)
@@ -493,6 +588,13 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         for name in removed:
             print(f"{verb} stale segment {name}")
     print(f"gc: {verb} {len(removed)} stale shared-memory segment(s)")
+    if args.spool is not None:
+        from .service import sweep_stale_spool
+
+        swept = sweep_stale_spool(args.spool, remove=not args.dry_run)
+        for path in swept:
+            print(f"{verb} stale spool litter {path}")
+        print(f"gc: {verb} {len(swept)} stale spool file(s)/dir(s)")
     return 0
 
 
@@ -755,13 +857,20 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "serve",
-        help="resilient scenario job service over a filesystem spool",
+        help="overload-safe scenario job service over a filesystem spool",
     )
     p.add_argument(
         "action",
-        choices=["run", "submit", "status", "result"],
-        help="'run' the daemon, or client-side "
-        "'submit'/'status'/'result'",
+        choices=["run", "submit", "status", "result", "deadletter"],
+        help="'run' the daemon, client-side 'submit'/'status'/'result', "
+        "or operate the 'deadletter' quarantine",
+    )
+    p.add_argument(
+        "sub",
+        nargs="?",
+        default=None,
+        choices=["list", "show", "retry", "purge"],
+        help="deadletter subaction (default: list)",
     )
     p.add_argument(
         "--spool",
@@ -792,7 +901,21 @@ def main(argv: list[str] | None = None) -> int:
         help="after submit, block for the result",
     )
     p.add_argument(
-        "--job-id", default=None, help="job id (status/result)"
+        "--block",
+        action="store_true",
+        help="submit: on a full queue, honor the retry-after hint and "
+        "resubmit instead of failing",
+    )
+    p.add_argument(
+        "--health",
+        action="store_true",
+        help="status: report the daemon's liveness/readiness/pressure "
+        "files (exit 0 iff live and ready)",
+    )
+    p.add_argument(
+        "--job-id",
+        default=None,
+        help="job id (status/result/deadletter show|retry|purge)",
     )
     p.add_argument(
         "--timeout",
@@ -830,6 +953,35 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="daemon: base retry backoff in seconds",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="daemon: concurrent job children (SOFT pressure halves "
+        "this, HARD pauses claiming)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="daemon: seconds a running job gets to finish after "
+        "SIGTERM/SIGINT before it is requeued",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="daemon: admission control — reject submissions beyond "
+        "this pending depth (default: $REPRO_SPOOL_MAX_PENDING)",
+    )
+    p.add_argument(
+        "--max-pending-bytes",
+        default=None,
+        metavar="BYTES",
+        help="daemon: admission control — reject submissions beyond "
+        "this pending byte budget ('64M' style; default: "
+        "$REPRO_SPOOL_MAX_BYTES)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -848,12 +1000,20 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "gc",
-        help="sweep stale shared-memory segments left by dead processes",
+        help="sweep stale shared-memory segments (and, with --spool, "
+        "spool litter) left by dead processes",
     )
     p.add_argument(
         "--dry-run",
         action="store_true",
-        help="report stale segments without removing them",
+        help="report stale litter without removing it",
+    )
+    p.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="also sweep this spool's stale tmp files and orphaned "
+        "work dirs",
     )
     p.set_defaults(func=_cmd_gc)
 

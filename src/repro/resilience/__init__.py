@@ -24,15 +24,23 @@ from .checkpoint import (
 )
 from .errors import (
     CheckpointError,
+    CircuitOpenError,
     PartitionError,
     PartitionInternalError,
     PartitionQualityError,
     PhysicsGuardError,
+    QueueFull,
     ResilienceError,
     TaskTimeoutError,
     TransientError,
 )
 from .faults import FaultPlan, FaultSpec
+from .sentinel import (
+    PressureSample,
+    PressureState,
+    ResourceSentinel,
+    SentinelConfig,
+)
 
 _GUARD_NAMES = ("GuardConfig", "GuardReport", "StateSnapshot", "check_state")
 
@@ -55,11 +63,17 @@ __all__ = [
     "TaskTimeoutError",
     "PhysicsGuardError",
     "CheckpointError",
+    "QueueFull",
+    "CircuitOpenError",
     "PartitionError",
     "PartitionInternalError",
     "PartitionQualityError",
     "FaultSpec",
     "FaultPlan",
+    "PressureState",
+    "PressureSample",
+    "SentinelConfig",
+    "ResourceSentinel",
     "GuardConfig",
     "GuardReport",
     "StateSnapshot",

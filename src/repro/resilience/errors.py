@@ -18,6 +18,8 @@ __all__ = [
     "PhysicsGuardError",
     "CheckpointError",
     "JobFailedError",
+    "QueueFull",
+    "CircuitOpenError",
     "PartitionError",
     "PartitionInternalError",
     "PartitionQualityError",
@@ -106,6 +108,58 @@ class JobFailedError(ResilienceError):
             + (f" [{kind}]" if kind else "")
             + f": {message}"
             + (f" (stages completed: {done})" if done else "")
+        )
+
+
+class QueueFull(ResilienceError):
+    """The spool rejected a submission — admission control tripped.
+
+    Carries the ``retry_after`` hint (seconds) a well-behaved client
+    sleeps before resubmitting (:meth:`ServiceClient.submit` with
+    ``block=True`` honors it), plus the tripped ``reason`` (``"depth"``
+    or ``"bytes"``), the observed load and the configured limit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        reason: str = "depth",
+        observed: int = 0,
+        limit: int = 0,
+    ) -> None:
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
+        self.observed = int(observed)
+        self.limit = int(limit)
+        super().__init__(
+            f"{message} (retry after {self.retry_after:g}s)"
+        )
+
+
+class CircuitOpenError(ResilienceError):
+    """A dead-lettered request was resubmitted while its breaker is
+    open.
+
+    The per-digest circuit breaker fast-fails resubmissions of a
+    scenario that was dead-lettered (poison job: exhausted retries, or
+    deterministic worker kills at one stage) until an operator closes
+    it with ``repro serve deadletter retry`` (re-admit) or ``purge``
+    (discard the evidence).  Carries the ``job_id`` and the dead-letter
+    ``entry`` path so the error names exactly what to inspect.
+    """
+
+    def __init__(
+        self, job_id: str, entry: str, *, reason: str | None = None
+    ) -> None:
+        self.job_id = str(job_id)
+        self.entry = str(entry)
+        self.reason = reason
+        super().__init__(
+            f"circuit open for job {job_id}: dead-lettered at {entry}"
+            + (f" ({reason})" if reason else "")
+            + "; close it with 'repro serve deadletter retry|purge'"
         )
 
 

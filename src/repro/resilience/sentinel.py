@@ -1,0 +1,357 @@
+"""Resource pressure sentinel for the serving tier.
+
+A :class:`ResourceSentinel` samples the signals that take a real
+serving box down — resident set size, free space on the spool and
+artifact volumes, machine-wide available memory, and queue depth —
+and folds them into one typed :class:`PressureState`:
+
+* ``OK`` — full service;
+* ``SOFT`` — degrade: shrink worker concurrency, force the mmap CSR
+  backend (zero-copy attach without /dev/shm growth);
+* ``HARD`` — protect: pause claiming, shed the in-memory store tier.
+
+Transitions are **hysteretic**: escalation is immediate (one bad
+sample is enough — the box is already in trouble), but de-escalation
+requires the signal to clear its threshold by a relative margin
+(default 10%), so a value oscillating around a threshold does not
+flap the service between modes on every sample.
+
+Every probe is injectable, which is how the chaos suite applies
+*synthetic* memory/disk pressure deterministically; the defaults read
+``/proc`` and :func:`shutil.disk_usage` and are tunable through
+``REPRO_SENTINEL_*`` environment variables (byte values accept
+``"512M"``-style suffixes via
+:func:`repro.pipeline.locking.parse_bytes`).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import shutil
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "PressureState",
+    "SentinelConfig",
+    "PressureSample",
+    "ResourceSentinel",
+]
+
+
+class PressureState(enum.IntEnum):
+    """Typed pressure tier; ordered so ``HARD > SOFT > OK``."""
+
+    OK = 0
+    SOFT = 1
+    HARD = 2
+
+    def __str__(self) -> str:  # "SOFT", not "PressureState.SOFT"
+        return self.name
+
+
+def _env_bytes(name: str, default: int | None) -> int | None:
+    # Lazy import: the pipeline package (which owns parse_bytes) sits
+    # above the graph layer, and the graph layer imports this package
+    # for its error types — a module-level import here would cycle.
+    from ..pipeline.locking import parse_bytes
+
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return parse_bytes(raw)
+    except ValueError as exc:
+        warnings.warn(
+            f"ignoring {name}: {exc}", RuntimeWarning, stacklevel=3
+        )
+        return default
+
+
+def _env_int(name: str, default: int | None) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {name}: not an integer ({raw!r})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Thresholds for each signal (``None`` disables that signal).
+
+    High-is-bad signals (``rss``, ``queue_depth``) escalate when the
+    value is **at or above** the threshold; low-is-bad signals
+    (``disk_free``, ``mem_available``) escalate when the value is **at
+    or below** it.  ``hysteresis`` is the relative clearance a signal
+    needs beyond its threshold before the sentinel de-escalates.
+    """
+
+    rss_soft_bytes: int | None = None
+    rss_hard_bytes: int | None = None
+    mem_soft_bytes: int | None = None
+    mem_hard_bytes: int | None = None
+    disk_soft_bytes: int | None = 512 * 2**20
+    disk_hard_bytes: int | None = 64 * 2**20
+    queue_soft: int | None = None
+    queue_hard: int | None = None
+    hysteresis: float = 0.1
+
+    @classmethod
+    def from_env(cls) -> "SentinelConfig":
+        """Defaults overridden by ``REPRO_SENTINEL_*`` variables."""
+        base = cls()
+        return cls(
+            rss_soft_bytes=_env_bytes("REPRO_SENTINEL_RSS_SOFT", base.rss_soft_bytes),
+            rss_hard_bytes=_env_bytes("REPRO_SENTINEL_RSS_HARD", base.rss_hard_bytes),
+            mem_soft_bytes=_env_bytes("REPRO_SENTINEL_MEM_SOFT", base.mem_soft_bytes),
+            mem_hard_bytes=_env_bytes("REPRO_SENTINEL_MEM_HARD", base.mem_hard_bytes),
+            disk_soft_bytes=_env_bytes(
+                "REPRO_SENTINEL_DISK_SOFT", base.disk_soft_bytes
+            ),
+            disk_hard_bytes=_env_bytes(
+                "REPRO_SENTINEL_DISK_HARD", base.disk_hard_bytes
+            ),
+            queue_soft=_env_int("REPRO_SENTINEL_QUEUE_SOFT", base.queue_soft),
+            queue_hard=_env_int("REPRO_SENTINEL_QUEUE_HARD", base.queue_hard),
+        )
+
+
+@dataclass
+class PressureSample:
+    """One sentinel reading: the folded state plus the raw signals and
+    the human-readable reasons behind any non-``OK`` verdict."""
+
+    state: PressureState
+    rss_bytes: int | None = None
+    mem_available_bytes: int | None = None
+    disk_free_bytes: dict[str, int] = field(default_factory=dict)
+    queue_depth: int | None = None
+    reasons: list[str] = field(default_factory=list)
+    at: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "state": str(self.state),
+            "rss_bytes": self.rss_bytes,
+            "mem_available_bytes": self.mem_available_bytes,
+            "disk_free_bytes": dict(self.disk_free_bytes),
+            "queue_depth": self.queue_depth,
+            "reasons": list(self.reasons),
+            "at": self.at,
+        }
+
+
+# ----------------------------------------------------------------------
+# Default probes
+# ----------------------------------------------------------------------
+def read_rss_bytes() -> int | None:
+    """Current resident set size of this process (Linux ``/proc``)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # portable fallback: peak RSS, close enough for thresholds
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - exotic platform
+        return None
+
+
+def read_mem_available_bytes() -> int | None:
+    """Machine-wide ``MemAvailable`` (Linux ``/proc/meminfo``)."""
+    try:
+        with open("/proc/meminfo", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def read_disk_free_bytes(path: str | Path) -> int | None:
+    """Free bytes on the volume holding ``path``."""
+    p = Path(path)
+    while not p.exists():
+        parent = p.parent
+        if parent == p:
+            return None
+        p = parent
+    try:
+        return shutil.disk_usage(p).free
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+class ResourceSentinel:
+    """Fold resource probes into a hysteretic pressure state.
+
+    Parameters
+    ----------
+    config:
+        Thresholds; ``None`` reads :meth:`SentinelConfig.from_env`.
+    volumes:
+        Paths whose volumes are probed for free space (the spool and
+        artifact roots; duplicates and ``None`` entries are dropped).
+    queue_depth:
+        Zero-arg callable returning the current pending depth
+        (``None`` disables the queue signal).
+    rss_probe / mem_probe / disk_probe:
+        Injectable probes (the chaos suite's synthetic pressure).
+        ``disk_probe`` takes a volume path and returns free bytes.
+    """
+
+    def __init__(
+        self,
+        config: SentinelConfig | None = None,
+        *,
+        volumes: tuple[str | Path | None, ...] = (),
+        queue_depth: Callable[[], int] | None = None,
+        rss_probe: Callable[[], int | None] = read_rss_bytes,
+        mem_probe: Callable[[], int | None] = read_mem_available_bytes,
+        disk_probe: Callable[[str | Path], int | None] = read_disk_free_bytes,
+    ) -> None:
+        self.config = config if config is not None else SentinelConfig.from_env()
+        seen: dict[str, Path] = {}
+        for v in volumes:
+            if v is not None:
+                seen.setdefault(str(v), Path(v))
+        self.volumes = tuple(seen.values())
+        self.queue_depth = queue_depth
+        self.rss_probe = rss_probe
+        self.mem_probe = mem_probe
+        self.disk_probe = disk_probe
+        self.state = PressureState.OK
+        self.last_sample: PressureSample | None = None
+        self.transitions: list[tuple[float, str, str]] = []
+
+    # -- classification ------------------------------------------------
+    @staticmethod
+    def _high_is_bad(
+        value: int | None,
+        soft: int | None,
+        hard: int | None,
+        margin: float,
+    ) -> PressureState:
+        if value is None:
+            return PressureState.OK
+        # De-escalation margin tightens the threshold: the value must
+        # clear it by ``margin`` before the signal reads as calmer.
+        if hard is not None and value >= hard * (1.0 - margin):
+            return PressureState.HARD
+        if soft is not None and value >= soft * (1.0 - margin):
+            return PressureState.SOFT
+        return PressureState.OK
+
+    @staticmethod
+    def _low_is_bad(
+        value: int | None,
+        soft: int | None,
+        hard: int | None,
+        margin: float,
+    ) -> PressureState:
+        if value is None:
+            return PressureState.OK
+        if hard is not None and value <= hard * (1.0 + margin):
+            return PressureState.HARD
+        if soft is not None and value <= soft * (1.0 + margin):
+            return PressureState.SOFT
+        return PressureState.OK
+
+    def _classify(
+        self, sample: PressureSample, margin: float
+    ) -> tuple[PressureState, list[str]]:
+        cfg = self.config
+        verdicts: list[tuple[PressureState, str]] = []
+        s = self._high_is_bad(
+            sample.rss_bytes, cfg.rss_soft_bytes, cfg.rss_hard_bytes, margin
+        )
+        if s:
+            verdicts.append((s, f"rss {sample.rss_bytes} B"))
+        s = self._low_is_bad(
+            sample.mem_available_bytes,
+            cfg.mem_soft_bytes,
+            cfg.mem_hard_bytes,
+            margin,
+        )
+        if s:
+            verdicts.append(
+                (s, f"mem available {sample.mem_available_bytes} B")
+            )
+        for vol, free in sample.disk_free_bytes.items():
+            s = self._low_is_bad(
+                free, cfg.disk_soft_bytes, cfg.disk_hard_bytes, margin
+            )
+            if s:
+                verdicts.append((s, f"disk free {free} B on {vol}"))
+        s = self._high_is_bad(
+            sample.queue_depth, cfg.queue_soft, cfg.queue_hard, margin
+        )
+        if s:
+            verdicts.append((s, f"queue depth {sample.queue_depth}"))
+        if not verdicts:
+            return PressureState.OK, []
+        worst = max(v for v, _ in verdicts)
+        return worst, [f"{v}: {why}" for v, why in verdicts]
+
+    # -- sampling ------------------------------------------------------
+    def sample(self) -> PressureSample:
+        """Probe every signal and return the (hysteretic) verdict.
+
+        Escalation applies immediately; de-escalation only once every
+        signal clears its threshold by ``config.hysteresis``.
+        """
+        s = PressureSample(state=PressureState.OK, at=time.time())
+        s.rss_bytes = self.rss_probe() if self.rss_probe else None
+        s.mem_available_bytes = self.mem_probe() if self.mem_probe else None
+        for vol in self.volumes:
+            free = self.disk_probe(vol)
+            if free is not None:
+                s.disk_free_bytes[str(vol)] = free
+        if self.queue_depth is not None:
+            try:
+                s.queue_depth = int(self.queue_depth())
+            except Exception:  # probe failure must never take us down
+                s.queue_depth = None
+
+        raw, raw_reasons = self._classify(s, margin=0.0)
+        if raw >= self.state:
+            new, reasons = raw, raw_reasons
+        else:
+            # Candidate de-escalation: re-classify with the hysteresis
+            # margin; the state only falls as far as the sticky verdict.
+            sticky, sticky_reasons = self._classify(
+                s, margin=self.config.hysteresis
+            )
+            new = min(self.state, max(raw, sticky))
+            reasons = sticky_reasons if new > raw else raw_reasons
+        if new != self.state:
+            self.transitions.append((s.at, str(self.state), str(new)))
+            warnings.warn(
+                f"resource pressure {self.state} -> {new}"
+                + (f" ({'; '.join(reasons)})" if reasons else ""),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.state = new
+        s.state = self.state
+        s.reasons = reasons
+        self.last_sample = s
+        return s

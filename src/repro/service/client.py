@@ -7,16 +7,30 @@ identical requests dedupe to one job), poll its typed
 terminal state, and fetch the result — raising the typed
 :class:`~repro.resilience.errors.JobFailedError` (with the partial
 per-stage provenance intact) when the daemon gave up on it.
+
+The client is a *well-behaved* tenant of an overloaded service:
+
+* :meth:`submit` with ``block=True`` honors the ``retry_after`` hint
+  carried by :class:`~repro.resilience.errors.QueueFull` instead of
+  hammering a spool that just rejected it;
+* :meth:`wait` polls with jittered exponential backoff (base ``poll``,
+  factor 2, cap ``poll_cap``, ±50% jitter) so a thousand clients
+  waiting on one spool do not synchronize into a stat() stampede;
+* a dead-lettered job surfaces as :class:`JobFailedError` with the
+  quarantine diagnosis — and resubmitting it trips the typed
+  :class:`~repro.resilience.errors.CircuitOpenError` breaker until an
+  operator re-admits or purges the entry.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from pathlib import Path
 from typing import Any
 
-from ..resilience.errors import JobFailedError
-from .queue import JobRequest, JobStatus, SpoolQueue
+from ..resilience.errors import JobFailedError, QueueFull
+from .queue import TERMINAL_STATES, JobRequest, JobStatus, SpoolQueue
 
 __all__ = ["ServiceClient"]
 
@@ -24,8 +38,16 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """Submit / poll / wait / fetch against one spool root."""
 
-    def __init__(self, spool: str | Path | SpoolQueue) -> None:
+    def __init__(
+        self,
+        spool: str | Path | SpoolQueue,
+        *,
+        rng: random.Random | None = None,
+    ) -> None:
         self.queue = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
+        # Own jitter source: deterministic under injection, and never
+        # couples to the global random state of the caller.
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
     def submit(
@@ -34,14 +56,38 @@ class ServiceClient:
         *,
         options: dict[str, Any] | None = None,
         through: str = "schedule",
+        block: bool = False,
+        timeout: float | None = None,
     ) -> str:
-        """Enqueue a scenario request; returns its (deduped) job id."""
+        """Enqueue a scenario request; returns its (deduped) job id.
+
+        When admission control rejects the request
+        (:class:`QueueFull`), ``block=False`` re-raises immediately;
+        ``block=True`` sleeps the server's ``retry_after`` hint
+        (jittered) and resubmits until admitted or ``timeout`` elapses
+        (then re-raises the last :class:`QueueFull`).
+        """
         request = JobRequest(
             scenario=scenario,
             options=dict(options or {}),
             through=through,
         )
-        return self.queue.submit(request)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return self.queue.submit(request)
+            except QueueFull as exc:
+                if not block:
+                    raise
+                delay = max(0.01, exc.retry_after) * self._rng.uniform(
+                    0.5, 1.5
+                )
+                if (
+                    deadline is not None
+                    and time.monotonic() + delay > deadline
+                ):
+                    raise
+                time.sleep(delay)
 
     def status(self, job_id: str) -> JobStatus | None:
         """Current typed status (``None`` for an unknown id)."""
@@ -53,24 +99,35 @@ class ServiceClient:
         *,
         timeout: float | None = None,
         poll: float = 0.1,
+        poll_cap: float = 2.0,
     ) -> JobStatus:
-        """Block until the job is terminal (``done`` or ``failed``).
+        """Block until the job is terminal (``done``, ``failed`` or
+        ``deadletter``).
 
-        Raises :class:`TimeoutError` when ``timeout`` elapses first and
-        :class:`KeyError` for an unknown job id.
+        Polls with jittered exponential backoff from ``poll`` up to
+        ``poll_cap`` seconds.  Raises :class:`TimeoutError` when
+        ``timeout`` elapses first and :class:`KeyError` for an unknown
+        job id.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = max(1e-3, poll)
         while True:
             status = self.queue.status(job_id)
             if status is None:
                 raise KeyError(f"unknown job id {job_id!r}")
-            if status.state in ("done", "failed"):
+            if status.state in TERMINAL_STATES:
                 return status
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {status.state} after {timeout:g}s"
-                )
-            time.sleep(poll)
+            sleep = min(delay, poll_cap) * self._rng.uniform(0.5, 1.5)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {status.state} "
+                        f"after {timeout:g}s"
+                    )
+                sleep = min(sleep, remaining)
+            time.sleep(sleep)
+            delay = min(delay * 2.0, poll_cap)
 
     def result(
         self,
@@ -82,13 +139,13 @@ class ServiceClient:
         """The result payload of a completed job (waits if needed).
 
         Raises :class:`~repro.resilience.errors.JobFailedError` for a
-        job that reached the typed ``failed`` state.
+        job that reached the typed ``failed`` or ``deadletter`` state.
         """
         status = self.wait(job_id, timeout=timeout, poll=poll)
-        if status.state == "failed":
+        if status.state in ("failed", "deadletter"):
             raise JobFailedError(
                 job_id,
-                status.error or "job failed",
+                status.error or f"job {status.state}",
                 kind=status.error_kind,
                 attempts=status.attempts,
                 stages=status.stages,
@@ -102,7 +159,14 @@ class ServiceClient:
         options: dict[str, Any] | None = None,
         through: str = "schedule",
         timeout: float | None = None,
+        block: bool = False,
     ) -> dict[str, Any]:
         """Submit and block for the result (one-call convenience)."""
-        job_id = self.submit(scenario, options=options, through=through)
+        job_id = self.submit(
+            scenario,
+            options=options,
+            through=through,
+            block=block,
+            timeout=timeout,
+        )
         return self.result(job_id, timeout=timeout)

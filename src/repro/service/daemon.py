@@ -1,4 +1,4 @@
-"""The ``repro serve`` daemon: a resilient scenario-serving worker.
+"""The ``repro serve`` daemon: an overload-safe scenario-serving worker.
 
 The daemon polls a :class:`~repro.service.queue.SpoolQueue`, claims
 jobs, and runs each scenario chain **in a child process** — the unit
@@ -6,9 +6,9 @@ of failure is the job, not the daemon.  A worker that dies mid-stage
 (segfault, OOM-kill, a chaos harness's injected kill) is observed as a
 child exit, retried with the runtime's
 :class:`~repro.runtime.executor.RetryPolicy` exponential backoff, and
-only after the budget is exhausted surfaced as a typed ``JobFailed``
-record — with the per-stage provenance the job managed to stream
-before dying intact.
+only after the budget is exhausted surfaced as a typed terminal record
+— with the per-stage provenance the job managed to stream before
+dying intact.
 
 Robustness properties:
 
@@ -16,21 +16,40 @@ Robustness properties:
   every pipeline stage; if no progress lands within ``watchdog``
   seconds the child is terminated and the attempt counts as a worker
   death (retryable);
+* **dead-letter quarantine** — a poison job (retry budget exhausted on
+  retryable failures, or a worker deterministically killed at the same
+  stage twice) moves to ``deadletter/`` with a forensic bundle instead
+  of being forgotten, and its per-digest circuit breaker fast-fails
+  resubmissions until an operator closes it;
+* **drain lifecycle** — SIGTERM/SIGINT stops claiming, gives running
+  children ``drain_grace`` seconds to finish, then terminates and
+  *requeues* them (nothing lost), maintains liveness/readiness files
+  under ``<spool>/health/``, and exits cleanly; a second signal
+  force-quits (children killed, jobs requeued immediately — the spool
+  state machine stays consistent either way);
+* **graceful degradation** — a :class:`ResourceSentinel` samples RSS,
+  free disk on the spool/artifact volumes and queue depth into
+  ``OK/SOFT/HARD`` pressure states.  Under ``SOFT`` the daemon shrinks
+  worker concurrency and forces the mmap CSR backend in job children;
+  under ``HARD`` it pauses claiming and running children shed the
+  in-memory store tier.  Every decision is recorded in the job's
+  ``degradation`` provenance, and results are bit-identical to the
+  unpressured path (the mmap backend and the store's memory tier never
+  change computed values);
 * **crash-safe store** — the child runs against the cross-process
   artifact store, so a retried attempt reuses every stage the dead
   attempt already published, and concurrent daemons sharing a store
   never recompute one digest;
-* **graceful degradation** — disk-full/permission errors inside the
-  store drop it to memory-only with a warning instead of failing the
-  job (see :class:`~repro.pipeline.store.ArtifactStore`);
 * **orphan recovery** — on startup, running jobs whose daemon pid is
-  dead are requeued (:meth:`SpoolQueue.recover_orphans`).
+  dead are requeued (serialized through the spool's advisory recover
+  lock) and dead daemons' spool litter is swept.
 
-Chaos hook: a seeded
+Chaos hooks: a seeded
 :class:`~repro.resilience.faults.FaultPlan` may be installed; its
 ``transient`` decisions kill the job's child process after its first
-completed stage — deterministic worker death for the chaos suite, in
-exactly the idiom the campaign driver uses for task-level faults.
+completed stage — deterministic worker death for the chaos suite.
+``REPRO_SERVE_STAGE_DELAY`` (seconds) makes children linger after each
+stage, giving the signal/drain tests a deterministic mid-job window.
 """
 
 from __future__ import annotations
@@ -39,22 +58,32 @@ import json
 import multiprocessing
 import os
 import shutil
+import signal
 import socket
+import threading
 import time
 import warnings
 from pathlib import Path
 from typing import Any
 
 from ..resilience.faults import FaultPlan
+from ..resilience.sentinel import (
+    PressureSample,
+    PressureState,
+    ResourceSentinel,
+)
 from ..runtime.executor import RetryPolicy
-from .queue import JobRequest, JobStatus, SpoolQueue
+from .queue import JobRequest, JobStatus, SpoolQueue, sweep_stale_spool
 
-__all__ = ["ServeDaemon"]
+__all__ = ["ServeDaemon", "read_health"]
 
 #: Child exit codes (picked clear of Python/shell conventions).
 _EXIT_TRANSIENT = 75  # EX_TEMPFAIL: retryable typed failure
 _EXIT_PERMANENT = 70  # EX_SOFTWARE: typed permanent failure
 _EXIT_CHAOS = 86  # injected worker death (chaos harness)
+
+#: Liveness heartbeats older than this many seconds read as dead.
+LIVENESS_TTL = 30.0
 
 
 def _atomic_json(path: Path, payload: dict[str, Any]) -> None:
@@ -76,6 +105,8 @@ def _child_main(
     store_root: str | None,
     workdir: str,
     chaos_kill_after: str | None = None,
+    pressure_path: str | None = None,
+    degrade: dict[str, Any] | None = None,
 ) -> None:
     """Job body, run in a spawned child process.
 
@@ -84,7 +115,22 @@ def _child_main(
     job reports), then an atomic result file.  Typed failures exit
     with a dedicated code and leave an error record; anything that
     kills the process outright is the parent's problem to observe.
+
+    Degradation: ``degrade["force_mmap"]`` pins the shared-CSR backend
+    to mmap before any graph work (a ``SOFT``-pressure decision, bit
+    identical to the shm path); after every stage the child re-reads
+    the daemon's ``pressure_path`` snapshot and, on ``HARD``, sheds
+    the store's in-memory tier.  Both decisions are recorded in the
+    streamed ``degradation`` provenance.
     """
+    degrade = degrade or {}
+    if degrade.get("force_mmap"):
+        os.environ["REPRO_SHARED_BACKEND"] = "mmap"
+    degradation: list[str] = []
+    try:
+        stage_delay = float(os.environ.get("REPRO_SERVE_STAGE_DELAY", 0) or 0)
+    except ValueError:
+        stage_delay = 0.0
     work = Path(workdir)
     progress_path = work / "progress.json"
     result_path = work / "result.json"
@@ -103,6 +149,7 @@ def _child_main(
             pipe = Pipeline(store)
             stop = STAGE_ORDER.index(request.through)
             stages: list[dict[str, Any]] = []
+            shed = False
             rec = None
             for name in STAGE_ORDER[: stop + 1]:
                 rec = pipe.run(scenario, through=name)
@@ -116,12 +163,31 @@ def _child_main(
                         "finished_at": time.time(),
                     }
                 )
+                if not shed and pressure_path is not None:
+                    snap = _read_json(Path(pressure_path))
+                    if (
+                        snap is not None
+                        and snap.get("state") == "HARD"
+                        and store is not None
+                    ):
+                        store.memory_items = 0
+                        store.clear_memory()
+                        shed = True
+                        degradation.append(
+                            "HARD: shed in-memory store tier in worker"
+                        )
                 _atomic_json(
                     progress_path,
-                    {"stages": stages, "heartbeat": time.time()},
+                    {
+                        "stages": stages,
+                        "heartbeat": time.time(),
+                        "degradation": degradation,
+                    },
                 )
                 if chaos_kill_after == name:
                     os._exit(_EXIT_CHAOS)  # injected worker death
+                if stage_delay > 0:
+                    time.sleep(stage_delay)
             result: dict[str, Any] = {"stages": stages}
             if rec is not None and rec.metrics is not None:
                 result["metrics"] = {
@@ -129,6 +195,8 @@ def _child_main(
                     "efficiency": float(rec.metrics.efficiency),
                 }
             result["cache_hits"] = rec.cache_hits if rec is not None else 0
+            if degradation:
+                result["degradation"] = degradation
             if store is not None and store.stats.degraded:
                 result["store_degraded"] = store.stats.degraded
             _atomic_json(result_path, result)
@@ -148,6 +216,36 @@ def _child_main(
         # Last resort (import failure, broken workdir): die visibly so
         # the parent counts a worker death instead of hanging.
         os._exit(1)
+
+
+def read_health(spool: str | Path) -> dict[str, Any]:
+    """The health surface of a spool's daemon(s), for ``repro serve
+    status --health`` and external probes.
+
+    Returns ``{"live": bool, "ready": bool, "liveness": {...},
+    "pressure": {...}}``; ``live`` requires a fresh heartbeat from a
+    pid that still exists.
+    """
+    from ..pipeline.locking import pid_alive
+
+    health = Path(spool).expanduser() / "health"
+    liveness = _read_json(health / "live.json")
+    pressure = _read_json(health / "pressure.json")
+    live = False
+    if liveness is not None:
+        age = time.time() - float(liveness.get("at") or 0.0)
+        pid = liveness.get("pid")
+        live = (
+            age <= LIVENESS_TTL
+            and pid is not None
+            and pid_alive(int(pid))
+        )
+    return {
+        "live": live,
+        "ready": (health / "ready.json").exists(),
+        "liveness": liveness,
+        "pressure": pressure,
+    }
 
 
 class ServeDaemon:
@@ -172,6 +270,19 @@ class ServeDaemon:
         disables it.
     poll:
         Spool poll interval while idle.
+    workers:
+        Concurrent job children (each claimed job runs in its own
+        child under its own supervisor thread).  ``SOFT`` pressure
+        halves the effective target; ``HARD`` pauses claiming.
+    sentinel:
+        :class:`ResourceSentinel` override (chaos tests inject
+        synthetic probes here); ``None`` builds the default watching
+        the spool/store volumes and the pending depth.
+    drain_grace:
+        Seconds a running child gets to finish after a drain signal
+        before it is terminated and its job requeued.
+    health_interval:
+        Max age of the ``health/`` liveness/pressure files.
     fault_plan:
         Optional seeded chaos hook (see module docstring).
     """
@@ -184,6 +295,10 @@ class ServeDaemon:
         retry: RetryPolicy | None = None,
         watchdog: float | None = None,
         poll: float = 0.2,
+        workers: int = 1,
+        sentinel: ResourceSentinel | None = None,
+        drain_grace: float = 5.0,
+        health_interval: float = 1.0,
         fault_plan: FaultPlan | None = None,
     ) -> None:
         self.queue = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
@@ -193,17 +308,150 @@ class ServeDaemon:
             raise ValueError("watchdog deadline must be positive")
         self.watchdog = watchdog
         self.poll = poll
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self.sentinel = (
+            sentinel
+            if sentinel is not None
+            else ResourceSentinel(
+                volumes=(self.queue.root, self.store_root),
+                queue_depth=lambda: self.queue.pending_load()[0],
+            )
+        )
+        if drain_grace < 0:
+            raise ValueError("drain_grace must be >= 0")
+        self.drain_grace = float(drain_grace)
+        self.health_interval = float(health_interval)
         self.fault_plan = fault_plan
         self._job_seq = 0
+        self._seq_lock = threading.Lock()
         self._ctx = multiprocessing.get_context("spawn")
+        self._stop = threading.Event()
+        self._force = threading.Event()
+        self._stop_at: float | None = None
+        self._completed = 0
+        self._requeued_on_drain = 0
+        self._inflight = 0
+        self._health_at = 0.0
+        self._health_state: PressureState | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._stop.is_set()
+
+    @property
+    def forced(self) -> bool:
+        return self._force.is_set()
+
+    def request_drain(self) -> None:
+        """Programmatic SIGTERM: stop claiming, finish-or-requeue."""
+        if self._stop.is_set():
+            self._force.set()
+        else:
+            self._stop_at = time.monotonic()
+            self._stop.set()
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        if self._stop.is_set():
+            self._force.set()
+        else:
+            self._stop_at = time.monotonic()
+            self._stop.set()
+
+    def _install_signals(self) -> dict[int, Any] | None:
+        """SIGTERM/SIGINT → drain (second one → force).  Only possible
+        from the main thread; elsewhere (tests driving the daemon from
+        a thread) :meth:`request_drain` is the signal surface."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        prev: dict[int, Any] = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                prev[sig] = signal.signal(sig, self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                continue
+        return prev
+
+    # -- health surface ------------------------------------------------
+    def _health_dir(self) -> Path:
+        return self.queue.root / "health"
+
+    def _write_health(
+        self, sample: PressureSample | None, *, ready: bool
+    ) -> None:
+        """Refresh ``health/``: liveness heartbeat, pressure snapshot,
+        and the readiness marker (present iff the daemon claims)."""
+        health = self._health_dir()
+        try:
+            health.mkdir(parents=True, exist_ok=True)
+            _atomic_json(
+                health / "live.json",
+                {
+                    "pid": os.getpid(),
+                    "hostname": socket.gethostname(),
+                    "at": time.time(),
+                    "state": str(sample.state) if sample else "OK",
+                    "draining": self.draining,
+                    "inflight": self._inflight,
+                    "completed": self._completed,
+                    "requeued_on_drain": self._requeued_on_drain,
+                },
+            )
+            if sample is not None:
+                _atomic_json(health / "pressure.json", sample.to_dict())
+            ready_path = health / "ready.json"
+            if ready:
+                _atomic_json(
+                    ready_path, {"pid": os.getpid(), "at": time.time()}
+                )
+            else:
+                try:
+                    ready_path.unlink()
+                except OSError:
+                    pass
+        except OSError:  # health is best-effort; never takes jobs down
+            pass
+
+    def _target_workers(self, state: PressureState) -> int:
+        """Degradation policy: full fleet under ``OK``, half (min 1)
+        under ``SOFT``, claiming paused under ``HARD``."""
+        if state >= PressureState.HARD:
+            return 0
+        if state >= PressureState.SOFT:
+            return max(1, self.workers // 2)
+        return self.workers
+
+    def _sample_pressure(self) -> PressureSample:
+        sample = self.sentinel.sample()
+        now = time.monotonic()
+        ready = not self.draining and sample.state < PressureState.HARD
+        if (
+            sample.state != self._health_state
+            or now - self._health_at >= self.health_interval
+        ):
+            self._write_health(sample, ready=ready)
+            self._health_at = now
+            self._health_state = sample.state
+        return sample
 
     # ------------------------------------------------------------------
     def recover(self) -> list[str]:
-        """Requeue orphaned running jobs (call once at startup)."""
+        """Requeue orphaned running jobs and sweep dead daemons' spool
+        litter (call once at startup)."""
         orphans = self.queue.recover_orphans()
         for job_id in orphans:
             warnings.warn(
                 f"requeued orphaned job {job_id} (its daemon is gone)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        swept = sweep_stale_spool(self.queue.root)
+        if swept:
+            warnings.warn(
+                f"swept {len(swept)} stale spool file(s) left by dead "
+                "daemons",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -216,34 +464,129 @@ class ServeDaemon:
         idle_timeout: float | None = None,
         deadline: float | None = None,
     ) -> int:
-        """Process jobs until a bound trips; returns the job count.
+        """Process jobs until a bound trips; returns the count of jobs
+        brought to a terminal state.
 
         ``max_jobs`` stops after N jobs; ``idle_timeout`` stops after
         that many seconds without work; ``deadline`` is an absolute
-        wall budget in seconds.
+        wall budget in seconds.  A drain signal (SIGTERM/SIGINT or
+        :meth:`request_drain`) stops claiming, lets running children
+        finish within ``drain_grace`` seconds, requeues the rest, and
+        returns.
         """
         self.recover()
-        done = 0
+        prev_handlers = self._install_signals()
+        self._sample_pressure()  # publish health from the first moment
+        done_base = self._completed
+        threads: list[threading.Thread] = []
         t0 = time.monotonic()
         idle_since = time.monotonic()
-        while True:
-            if max_jobs is not None and done >= max_jobs:
-                return done
-            if deadline is not None and time.monotonic() - t0 > deadline:
-                return done
-            claimed = self.queue.claim_next()
-            if claimed is None:
+        try:
+            while True:
+                threads = [t for t in threads if t.is_alive()]
+                self._inflight = len(threads)
+                done = self._completed - done_base
+                if threads:
+                    idle_since = time.monotonic()
+                if self._stop.is_set():
+                    break
+                # Sample every iteration — running children read the
+                # published pressure.json at stage boundaries, so the
+                # snapshot must stay fresh even when no claim is due.
+                sample = self._sample_pressure()
                 if (
-                    idle_timeout is not None
-                    and time.monotonic() - idle_since > idle_timeout
+                    max_jobs is not None
+                    and done + len(threads) >= max_jobs
                 ):
-                    return done
-                time.sleep(self.poll)
-                continue
-            idle_since = time.monotonic()
-            job_id, request, record = claimed
-            self.process_job(job_id, request, record)
-            done += 1
+                    if threads:
+                        self._stop.wait(min(self.poll, 0.1))
+                        continue
+                    break
+                if (
+                    deadline is not None
+                    and time.monotonic() - t0 > deadline
+                ):
+                    break
+                claimed = None
+                if len(threads) < self._target_workers(sample.state):
+                    claimed = self.queue.claim_next()
+                if claimed is None:
+                    if (
+                        not threads
+                        and idle_timeout is not None
+                        and time.monotonic() - idle_since > idle_timeout
+                    ):
+                        break
+                    self._stop.wait(self.poll)
+                    continue
+                idle_since = time.monotonic()
+                job_id, request, record = claimed
+                worker = threading.Thread(
+                    target=self._supervise,
+                    args=(job_id, request, record, sample),
+                    name=f"repro-serve-{job_id[:8]}",
+                    daemon=True,
+                )
+                worker.start()
+                threads.append(worker)
+            self._drain(threads)
+            return self._completed - done_base
+        finally:
+            self._inflight = 0
+            self._write_health(
+                self.sentinel.last_sample, ready=False
+            )
+            if prev_handlers:
+                for sig, handler in prev_handlers.items():
+                    try:
+                        signal.signal(sig, handler)
+                    except (ValueError, OSError):  # pragma: no cover
+                        continue
+
+    def _drain(self, threads: list[threading.Thread]) -> None:
+        """Wait out running supervisors; they finish-or-requeue their
+        children on their own (``_run_attempt`` watches the drain
+        events)."""
+        if self.draining and threads:
+            warnings.warn(
+                f"draining: {len(threads)} running job(s) get "
+                f"{self.drain_grace:g}s to finish, then requeue",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        force_deadline: float | None = None
+        while threads:
+            if self._force.is_set() and force_deadline is None:
+                force_deadline = time.monotonic() + 5.0
+            for t in list(threads):
+                t.join(timeout=0.1)
+                if not t.is_alive():
+                    threads.remove(t)
+            self._inflight = len(threads)
+            if (
+                force_deadline is not None
+                and time.monotonic() > force_deadline
+            ):  # pragma: no cover - defensive
+                break
+
+    def _supervise(
+        self,
+        job_id: str,
+        request: JobRequest,
+        record: dict[str, Any],
+        sample: PressureSample | None,
+    ) -> None:
+        """Thread body around :meth:`process_job` (one per claimed
+        job)."""
+        try:
+            self.process_job(job_id, request, record, pressure=sample)
+        except Exception as exc:  # pragma: no cover - supervisor bug
+            warnings.warn(
+                f"supervisor for job {job_id} crashed: {exc}; requeueing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.queue.requeue(job_id)
 
     # ------------------------------------------------------------------
     def process_job(
@@ -251,10 +594,20 @@ class ServeDaemon:
         job_id: str,
         request: JobRequest,
         record: dict[str, Any] | None = None,
+        *,
+        pressure: PressureSample | None = None,
     ) -> JobStatus:
-        """Run one claimed job to a terminal state (with retries)."""
-        self._job_seq += 1
-        seq = self._job_seq
+        """Run one claimed job to a terminal state (with retries).
+
+        Terminal routing: success → ``done``; a typed deterministic
+        failure → ``failed``; a poison job — retry budget exhausted on
+        retryable outcomes, or a worker killed at the same stage twice
+        — → ``deadletter`` (breaker opens).  A drain signal mid-job
+        requeues instead (state goes back to ``pending``).
+        """
+        with self._seq_lock:
+            self._job_seq += 1
+            seq = self._job_seq
         status = JobStatus(
             job_id=job_id,
             state="running",
@@ -265,24 +618,71 @@ class ServeDaemon:
                 "daemon_pid": os.getpid(),
                 "hostname": socket.gethostname(),
             },
+            pressure=pressure.to_dict() if pressure is not None else None,
         )
-        workdir = self.queue.root / "work" / job_id
+        degrade: dict[str, Any] = {}
+        if pressure is not None and pressure.state >= PressureState.SOFT:
+            degrade["force_mmap"] = True
+            status.degradation.append(
+                f"{pressure.state}: forced mmap CSR backend in worker"
+            )
+        workdir = self.queue.workdir(job_id)
         policy = self.retry
         attempt = 0
         while True:
             status.attempts = attempt + 1
             self.queue.write_status(status)
+            attempt_started = time.time()
             outcome, detail = self._run_attempt(
-                job_id, request, workdir, status, seq, attempt
+                job_id, request, workdir, status, seq, attempt, degrade
+            )
+            stage_reached = (
+                status.stages[-1]["stage"] if status.stages else None
+            )
+            status.history.append(
+                {
+                    "attempt": attempt + 1,
+                    "outcome": outcome,
+                    "kind": detail.get("kind"),
+                    "message": detail.get("message"),
+                    "exit_code": detail.get("exit_code"),
+                    "stage_reached": stage_reached,
+                    "started_at": attempt_started,
+                    "finished_at": time.time(),
+                }
             )
             if outcome == "done":
                 status.state = "done"
                 status.result = detail
                 status.stages = list(detail.get("stages") or status.stages)
+                for note in detail.get("degradation") or []:
+                    if note not in status.degradation:
+                        status.degradation.append(note)
                 status.finished_at = time.time()
+                self.queue.finish(job_id, status)
                 break
+            if outcome == "drained":
+                self.queue.requeue(job_id)
+                self._requeued_on_drain += 1
+                status.state = "pending"
+                shutil.rmtree(workdir, ignore_errors=True)
+                return status
             retryable = outcome in ("death", "timeout", "transient")
-            if retryable and attempt < policy.max_retries:
+            if retryable and self._stop.is_set():
+                # Draining: don't burn a fresh attempt racing shutdown.
+                self.queue.requeue(job_id)
+                self._requeued_on_drain += 1
+                status.state = "pending"
+                shutil.rmtree(workdir, ignore_errors=True)
+                return status
+            same_stage_deaths = sum(
+                1
+                for e in status.history
+                if e["outcome"] == "death"
+                and e["stage_reached"] == stage_reached
+            )
+            poison = outcome == "death" and same_stage_deaths >= 2
+            if retryable and not poison and attempt < policy.max_retries:
                 delay = policy.delay(attempt + 1)
                 warnings.warn(
                     f"job {job_id} attempt {attempt + 1} failed "
@@ -291,17 +691,46 @@ class ServeDaemon:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                if delay > 0:
-                    time.sleep(delay)
+                if delay > 0 and self._stop.wait(delay):
+                    # Drain arrived during backoff: requeue, don't burn
+                    # an attempt racing the shutdown.
+                    self.queue.requeue(job_id)
+                    self._requeued_on_drain += 1
+                    status.state = "pending"
+                    shutil.rmtree(workdir, ignore_errors=True)
+                    return status
                 attempt += 1
                 continue
-            # Typed JobFailed: terminal, with partial provenance.
-            status.state = "failed"
             status.error = str(detail.get("message") or outcome)
             status.error_kind = str(detail.get("kind") or outcome)
             status.finished_at = time.time()
+            if retryable:
+                # Poison job → dead-letter quarantine + open breaker.
+                reason = (
+                    f"worker died at stage "
+                    f"{stage_reached or '<none>'} twice (deterministic)"
+                    if poison
+                    else f"retry budget exhausted "
+                    f"({policy.max_retries} retries)"
+                )
+                status.error = f"{status.error} [dead-lettered: {reason}]"
+                entry = self.queue.deadletter(
+                    job_id, status, workdir=workdir
+                )
+                warnings.warn(
+                    f"dead-lettered job {job_id} ({reason}); breaker "
+                    f"open, evidence at {entry}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            # Typed deterministic failure: terminal, with partial
+            # provenance.
+            status.state = "failed"
+            self.queue.finish(job_id, status)
             break
-        self.queue.finish(job_id, status)
+        with self._seq_lock:
+            self._completed += 1
         shutil.rmtree(workdir, ignore_errors=True)
         return status
 
@@ -327,11 +756,13 @@ class ServeDaemon:
         status: JobStatus,
         seq: int,
         attempt: int,
+        degrade: dict[str, Any] | None = None,
     ) -> tuple[str, dict[str, Any]]:
         """One child-process attempt.
 
         Returns ``(outcome, detail)`` with outcome one of ``"done"``,
-        ``"death"``, ``"timeout"``, ``"transient"``, ``"permanent"``.
+        ``"death"``, ``"timeout"``, ``"transient"``, ``"permanent"``,
+        ``"drained"``.
         """
         shutil.rmtree(workdir, ignore_errors=True)
         workdir.mkdir(parents=True, exist_ok=True)
@@ -346,6 +777,8 @@ class ServeDaemon:
                 self.store_root,
                 str(workdir),
                 self._chaos_kill_stage(seq, attempt),
+                str(self._health_dir() / "pressure.json"),
+                dict(degrade or {}),
             ),
             daemon=True,
         )
@@ -354,6 +787,7 @@ class ServeDaemon:
         last_progress = time.monotonic()
         last_mtime = 0.0
         timed_out = False
+        drained = False
         while True:
             child.join(timeout=min(self.poll, 0.1))
             try:
@@ -366,23 +800,42 @@ class ServeDaemon:
                 progress = _read_json(progress_path)
                 if progress is not None:
                     status.stages = list(progress.get("stages") or [])
+                    for note in progress.get("degradation") or []:
+                        if note not in status.degradation:
+                            status.degradation.append(note)
             status.heartbeat = time.time()
             self.queue.write_status(status)
             if not child.is_alive():
+                break
+            grace_over = self._force.is_set() or (
+                self._stop.is_set()
+                and self._stop_at is not None
+                and time.monotonic() - self._stop_at >= self.drain_grace
+            )
+            if grace_over:
+                drained = True
+                self._terminate(child)
                 break
             if (
                 self.watchdog is not None
                 and time.monotonic() - last_progress > self.watchdog
             ):
                 timed_out = True
-                child.terminate()
-                child.join(timeout=5.0)
-                if child.is_alive():  # pragma: no cover - defensive
-                    child.kill()
-                    child.join(timeout=5.0)
+                self._terminate(child)
                 break
         code = child.exitcode
         child.close()
+        if drained:
+            # The child may have finished in the terminate window —
+            # a complete result still counts as done, nothing wasted.
+            result = _read_json(result_path)
+            if code == 0 and result is not None:
+                return "done", result
+            return "drained", {
+                "kind": "Drained",
+                "message": "daemon draining; job requeued",
+                "exit_code": code,
+            }
         if timed_out:
             return "timeout", {
                 "kind": "StageTimeout",
@@ -390,6 +843,7 @@ class ServeDaemon:
                     f"no stage progress for {self.watchdog:g}s "
                     f"(attempt {attempt + 1})"
                 ),
+                "exit_code": code,
             }
         if code == 0:
             result = _read_json(result_path)
@@ -397,17 +851,30 @@ class ServeDaemon:
                 return "death", {
                     "kind": "WorkerDeath",
                     "message": "child exited cleanly but left no result",
+                    "exit_code": code,
                 }
             return "done", result
         error = _read_json(error_path)
         if code == _EXIT_TRANSIENT:
-            return "transient", error or {
+            detail = error or {
                 "kind": "TransientError",
                 "message": "transient job failure",
             }
+            detail["exit_code"] = code
+            return "transient", detail
         if code == _EXIT_PERMANENT and error is not None:
+            error["exit_code"] = code
             return "permanent", error
         return "death", {
             "kind": "WorkerDeath",
             "message": f"worker died with exit code {code}",
+            "exit_code": code,
         }
+
+    @staticmethod
+    def _terminate(child: multiprocessing.process.BaseProcess) -> None:
+        child.terminate()
+        child.join(timeout=5.0)
+        if child.is_alive():  # pragma: no cover - defensive
+            child.kill()
+            child.join(timeout=5.0)

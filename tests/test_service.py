@@ -276,7 +276,8 @@ class TestDaemon:
         # A watchdog far below the child's startup time (interpreter +
         # numpy import) guarantees no progress lands before the
         # deadline — the attempt must be terminated and, with a zero
-        # retry budget, surfaced as a typed StageTimeout failure.
+        # retry budget, the exhausted retryable failure is quarantined
+        # in the dead-letter tier (typed StageTimeout diagnosis).
         daemon = cheap_daemon(
             tmp_path / "spool",
             tmp_path / "store",
@@ -287,9 +288,11 @@ class TestDaemon:
             warnings.simplefilter("ignore")
             daemon.serve_forever(max_jobs=1, idle_timeout=5.0)
         status = client.wait(job_id, timeout=5.0)
-        assert status.state == "failed"
+        assert status.state == "deadletter"
         assert status.error_kind == "StageTimeout"
         assert "no stage progress" in status.error
+        assert "dead-lettered" in status.error
+        assert daemon.queue.deadletter_list() == [job_id]
 
     def test_startup_recovers_orphans(self, tmp_path):
         client = ServiceClient(tmp_path / "spool")
@@ -407,3 +410,118 @@ class TestGcCLI:
         finally:
             fake.unlink(missing_ok=True)
         del shared
+
+
+class TestSignalLifecycle:
+    """Real-signal drain coverage: the daemon as an actual OS process.
+
+    The in-process drain mechanics are covered in
+    ``tests/test_serve_chaos.py``; here the full story — SIGTERM
+    delivered to a live ``repro serve run`` process — must requeue the
+    running job and exit 0, and a second SIGTERM must force-quit
+    (nonzero) without corrupting the spool state machine.
+    """
+
+    def launch_daemon(self, tmp_path, *extra):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(repo_src), env.get("PYTHONPATH")])
+        )
+        # The child lingers after each stage: a deterministic mid-job
+        # window for the signal to land in.
+        env["REPRO_SERVE_STAGE_DELAY"] = "10.0"
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "--artifacts",
+                str(tmp_path / "store"),
+                "serve",
+                "run",
+                "--spool",
+                str(tmp_path / "spool"),
+                "--idle-timeout",
+                "120",
+                "--watchdog",
+                "120",
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def wait_mid_job(self, client, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = client.status(job_id)
+            if (
+                status is not None
+                and status.state == "running"
+                and len(status.stages) >= 1
+            ):
+                return
+            time.sleep(0.05)
+        raise AssertionError("daemon never got the job mid-stage")
+
+    def assert_spool_consistent(self, spool, job_id, state):
+        queue = SpoolQueue(spool)
+        placements = [
+            s for s, ids in queue.jobs().items() if job_id in ids
+        ]
+        assert placements == [state]
+        assert not queue._status_path(job_id).exists()
+        assert list(spool.glob("*/*.tmp*")) == []  # no torn writes
+
+    def test_sigterm_mid_job_requeues_and_exits_zero(self, tmp_path):
+        import signal as signal_mod
+
+        client = ServiceClient(tmp_path / "spool")
+        job_id = client.submit(
+            "characteristics", options=CHEAP, through="levels"
+        )
+        proc = self.launch_daemon(tmp_path, "--drain-grace", "0.2")
+        try:
+            self.wait_mid_job(client, job_id)
+            proc.send_signal(signal_mod.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "drained cleanly" in out
+        # Finish-or-requeue: the mid-flight job went back to pending
+        # exactly once; a later daemon owes it nothing but a rerun.
+        self.assert_spool_consistent(tmp_path / "spool", job_id, "pending")
+
+    def test_double_sigterm_force_quits_without_corruption(self, tmp_path):
+        import signal as signal_mod
+
+        client = ServiceClient(tmp_path / "spool")
+        job_id = client.submit(
+            "characteristics", options=CHEAP, through="levels"
+        )
+        # A long grace: the first SIGTERM alone would wait the child
+        # out, so only the second (force) explains a prompt exit.
+        proc = self.launch_daemon(tmp_path, "--drain-grace", "300")
+        try:
+            self.wait_mid_job(client, job_id)
+            proc.send_signal(signal_mod.SIGTERM)
+            time.sleep(0.5)
+            proc.send_signal(signal_mod.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 1, out
+        assert "force-quit" in out
+        self.assert_spool_consistent(tmp_path / "spool", job_id, "pending")
