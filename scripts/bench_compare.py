@@ -97,7 +97,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in suites:
         mod = get_suite(name)
         kwargs = dict(repeats=args.repeats, seed=args.seed)
-        if name in ("partitioner", "scale"):
+        if name in ("partitioner", "scale", "dagsched"):
             kwargs["n_jobs"] = args.jobs
         result = mod.run_suite(sizes, **kwargs)
         if args.update and args.update_runs > 1:

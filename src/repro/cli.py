@@ -259,7 +259,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in suites:
         mod = get_suite(name)
         kwargs = dict(repeats=args.repeats, seed=args.seed)
-        if name in ("partitioner", "scale"):
+        if name in ("partitioner", "scale", "dagsched"):
             kwargs["n_jobs"] = args.jobs
         result = mod.run_suite(sizes, **kwargs)
         print(f"== {name} ==")
@@ -481,6 +481,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             watchdog=args.watchdog,
             workers=args.workers,
             drain_grace=args.drain_grace,
+            dag=args.dag,
+            dag_batch=args.dag_batch,
         )
         n = daemon.serve_forever(
             max_jobs=args.max_jobs, idle_timeout=args.idle_timeout
@@ -537,6 +539,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{(s.get('cache') or 'computed'):<8s} "
                 f"{1e3 * float(s.get('wall_time') or 0.0):9.2f} ms"
             )
+        dedup = result.get("dedup")
+        if dedup:
+            print(
+                f"dedup: computed={dedup.get('computed', 0)} "
+                f"store={dedup.get('store', 0)} "
+                f"shared={dedup.get('shared', 0)}"
+            )
         metrics = result.get("metrics")
         if metrics:
             print(
@@ -553,7 +562,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # status
     if not args.job_id:
-        raise ValueError("serve status needs --job-id (or --health)")
+        # Spool overview with the aggregate per-stage dedup counts —
+        # how much work the daemon actually avoided, split into store
+        # cache hits vs shared-prefix reuse inside merged dag plans.
+        from .pipeline import STAGE_ORDER
+
+        states = client.queue.jobs()
+        parts = ", ".join(
+            f"{state}={len(ids)}"
+            for state, ids in sorted(states.items())
+            if ids
+        )
+        print(f"spool {client.queue.root}: {parts or 'empty'}")
+        dedup: dict[str, dict[str, int]] = {}
+        for job_id in states.get("done", []):
+            st = client.queue.status(job_id)
+            if st is None:
+                continue
+            for s in st.stages or []:
+                cache = s.get("cache")
+                bucket = (
+                    "shared"
+                    if cache == "shared"
+                    else "store"
+                    if cache in ("memory", "disk")
+                    else "computed"
+                )
+                d = dedup.setdefault(
+                    s["stage"],
+                    {"computed": 0, "store": 0, "shared": 0},
+                )
+                d[bucket] += 1
+        if dedup:
+            print("per-stage dedup over done jobs:")
+            for name in STAGE_ORDER:
+                d = dedup.get(name)
+                if d is None:
+                    continue
+                print(
+                    f"{name:>10s}  computed={d['computed']}  "
+                    f"store={d['store']}  shared={d['shared']}"
+                )
+        return 0
     status = client.status(args.job_id)
     if status is None:
         print(f"repro: error: unknown job {args.job_id}", file=sys.stderr)
@@ -561,6 +611,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     line = f"{status.job_id}  {status.state}  attempts={status.attempts}"
     if status.stages:
         line += "  stages=" + ",".join(s["stage"] for s in status.stages)
+        shared = sum(
+            1 for s in status.stages if s.get("cache") == "shared"
+        )
+        store_hits = sum(
+            1
+            for s in status.stages
+            if s.get("cache") in ("memory", "disk")
+        )
+        if shared or store_hits:
+            line += f"  dedup=store:{store_hits},shared:{shared}"
     if status.degradation:
         line += "  degraded=" + ";".join(status.degradation)
     if status.error:
@@ -716,10 +776,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=["partitioner", "taskgraph", "flusim", "scale", "all"],
+        choices=[
+            "partitioner",
+            "taskgraph",
+            "flusim",
+            "scale",
+            "dagsched",
+            "all",
+        ],
         default="partitioner",
         help="which perf suite(s) to run ('all' excludes the "
-        "minutes-long scale suite; ask for it by name)",
+        "minutes-long scale and dagsched suites; ask for them by name)",
     )
     p.add_argument(
         "--size", choices=["smoke", "full", "both"], default="full"
@@ -966,6 +1033,20 @@ def main(argv: list[str] | None = None) -> int:
         default=5.0,
         help="daemon: seconds a running job gets to finish after "
         "SIGTERM/SIGINT before it is requeued",
+    )
+    p.add_argument(
+        "--dag",
+        action="store_true",
+        help="daemon: claim compatible pending jobs together and run "
+        "them as one merged stage-DAG (shared prefixes execute once; "
+        "--workers bounds the stage scheduler pool)",
+    )
+    p.add_argument(
+        "--dag-batch",
+        type=int,
+        default=8,
+        help="daemon: max jobs merged into one plan per claim round "
+        "(--dag mode)",
     )
     p.add_argument(
         "--max-pending",

@@ -14,9 +14,13 @@ tracked PR-over-PR (run via ``python -m repro bench`` or
   (``BENCH_flusim.json``);
 * :mod:`repro.perf.scale` — the paper-scale mesh→dual→partition chain
   (``BENCH_scale.json``; opt-in, excluded from the default ``all``
-  expansion because it runs for minutes).
+  expansion because it runs for minutes);
+* :mod:`repro.perf.dagsched` — merged stage-DAG sweeps vs independent
+  linear runs (``BENCH_dagsched.json``; opt-in — it runs whole
+  pipeline chains, not microkernels).
 """
 
+from . import dagsched as dagsched_suite
 from . import flusim as flusim_suite
 from . import partitioner as partitioner_suite
 from . import scale as scale_suite
@@ -42,6 +46,7 @@ SUITES = {
 #: the scale chain builds 1M+-cell meshes and runs for minutes.
 EXTRA_SUITES = {
     "scale": scale_suite,
+    "dagsched": dagsched_suite,
 }
 
 
@@ -68,4 +73,5 @@ __all__ = [
     "taskgraph_suite",
     "flusim_suite",
     "scale_suite",
+    "dagsched_suite",
 ]

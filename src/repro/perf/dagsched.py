@@ -1,0 +1,168 @@
+"""Stage-DAG scheduling benchmark: merged-plan sweeps vs independent
+linear runs (``BENCH_dagsched.json``).
+
+The serving scenario the DAG layer exists for: a 16-scenario sweep
+differing only in partition seed, so every chain shares one
+mesh→levels prefix.  The *reference* leg runs each scenario as an
+independent ``Pipeline.run_linear`` against its own fresh store — the
+un-shared world, where N jobs execute ``5N`` stages (or lock-wait on a
+shared store; here each store is private, so it is the full recompute
+cost).  The *fast* leg compiles the whole sweep into one merged
+:class:`~repro.pipeline.plan.StagePlan` and executes it on a
+:class:`~repro.pipeline.scheduler.DagScheduler` pool: ``2 + 3N``
+stages, shared prefix exactly once, critical-path-first dispatch.
+
+Both legs produce bit-identical artifacts (pinned by the tier-1 DAG
+suite); the figures of merit are wall-clock, the speedup ratio the
+comparator gates, and the stages-computed counts that make the dedup
+arithmetic visible in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..pipeline import (
+    ArtifactStore,
+    DagScheduler,
+    Pipeline,
+    Scenario,
+    compile_plan,
+    expand_sweep,
+)
+from .common import (
+    compare_results,
+    load_baseline,
+    save_baseline,
+    suite_result,
+)
+
+__all__ = [
+    "run_benchmarks",
+    "run_suite",
+    "format_report",
+    "save_baseline",
+    "load_baseline",
+    "compare_results",
+]
+
+#: Benchmark sizes: quadtree depth of the shared cube mesh.  The sweep
+#: width (16 scenarios) is the ISSUE-pinned serving shape at both
+#: rungs; ``smoke`` only shrinks the mesh.
+SIZES = {
+    "full": dict(scale=6, scenarios=16),
+    "smoke": dict(scale=5, scenarios=16),
+}
+
+
+def _sweep(scale: int, scenarios: int) -> list[Scenario]:
+    base = Scenario.standard(
+        "cube",
+        domains=4,
+        processes=2,
+        cores=2,
+        scale=scale,
+        strategy="SC_OC",
+    )
+    return expand_sweep(base, {"seed": list(range(scenarios))})
+
+
+def run_benchmarks(
+    *,
+    size: str = "full",
+    repeats: int = 1,
+    seed: int = 3,
+    n_jobs: int = 2,
+) -> dict:
+    """Race the linear and DAG paths over one shared-prefix sweep.
+
+    Each leg runs once per ``repeats`` round on *fresh* stores (a warm
+    store would measure cache lookups, not scheduling), keeping the
+    best wall-clock of each; ``seed`` is accepted for interface
+    compatibility (the sweep pins its own seeds so the plan shape is
+    stable across runs).
+    """
+    del seed
+    if size not in SIZES:
+        raise ValueError(f"unknown benchmark size {size!r}")
+    scale = SIZES[size]["scale"]
+    width = SIZES[size]["scenarios"]
+    sweep = _sweep(scale, width)
+
+    ref_s = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for sc in sweep:
+            Pipeline(ArtifactStore(), n_jobs=1).run_linear(sc)
+        ref_s = min(ref_s, time.perf_counter() - t0)
+
+    fast_s = float("inf")
+    stages_dag = 0
+    for _ in range(max(1, repeats)):
+        store = ArtifactStore()
+        t0 = time.perf_counter()
+        plan = compile_plan(sweep)
+        result = DagScheduler(
+            store, max_workers=max(1, n_jobs)
+        ).execute(plan)
+        dt = time.perf_counter() - t0
+        if dt < fast_s:
+            fast_s = dt
+            stages_dag = sum(
+                c["computed"]
+                for c in result.stage_counters().values()
+            )
+
+    return {
+        "size": size,
+        "scale": scale,
+        "scenarios": width,
+        "n_jobs": n_jobs,
+        "sweep": {
+            "ref_s": ref_s,
+            "fast_s": fast_s,
+            "speedup": ref_s / fast_s,
+            "stages_linear": 5 * width,
+            "stages_dag": stages_dag,
+        },
+    }
+
+
+def run_suite(
+    sizes: tuple[str, ...] = ("full",),
+    *,
+    repeats: int = 1,
+    seed: int = 3,
+    n_jobs: int = 2,
+) -> dict:
+    """Run the dagsched comparison with the common result envelope."""
+    return suite_result(
+        {
+            s: run_benchmarks(
+                size=s, repeats=repeats, seed=seed, n_jobs=n_jobs
+            )
+            for s in sizes
+        }
+    )
+
+
+def format_report(result: dict) -> str:
+    """Human-readable table for one dagsched-suite result."""
+    lines = []
+    for size, case in result.get("cases", {}).items():
+        s = case["sweep"]
+        lines.append(
+            f"[{size}] {case['scenarios']} scenarios sharing one "
+            f"scale-{case['scale']} mesh prefix, "
+            f"{case['n_jobs']} workers"
+        )
+        lines.append(
+            f"  linear (independent): {s['ref_s']:7.2f} s"
+            f"  {s['stages_linear']:4d} stages computed"
+        )
+        lines.append(
+            f"  dag (merged plan)   : {s['fast_s']:7.2f} s"
+            f"  {s['stages_dag']:4d} stages computed"
+            f"  {s['speedup']:.2f}x"
+        )
+    return "\n".join(lines)

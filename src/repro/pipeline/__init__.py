@@ -10,6 +10,9 @@ and the campaign driver:
 * a content-addressed ``.npz`` + JSON-sidecar artifact store with a
   bounded in-memory LRU (:mod:`repro.pipeline.store`);
 * the five stage definitions (:mod:`repro.pipeline.stages`);
+* the stage-DAG plan compiler (:mod:`repro.pipeline.plan`) and the
+  critical-path scheduler that executes compiled plans
+  (:mod:`repro.pipeline.scheduler`);
 * the runner, :class:`RunRecord` provenance and the sweep/batch
   machinery (:mod:`repro.pipeline.runner`);
 * the scenario registry (:mod:`repro.pipeline.registry`).
@@ -26,6 +29,7 @@ from .config import (
 )
 from .hashing import canonical_json, config_digest, stage_digest
 from .jobs import resolve_n_jobs, set_default_n_jobs
+from .plan import StagePlan, StageTask, compile_plan
 from .registry import SCENARIOS, get_scenario, paper_configs
 from .runner import (
     Pipeline,
@@ -34,8 +38,15 @@ from .runner import (
     expand_sweep,
     run_batch,
 )
+from .scheduler import (
+    DagScheduler,
+    NodeResult,
+    PlanResult,
+    execute_stage,
+)
 from .stages import (
     MESH_BUILDERS,
+    STAGE_INPUTS,
     STAGE_ORDER,
     STAGES,
     LevelStage,
@@ -75,9 +86,17 @@ __all__ = [
     "StageRecord",
     "expand_sweep",
     "run_batch",
+    "StagePlan",
+    "StageTask",
+    "compile_plan",
+    "DagScheduler",
+    "NodeResult",
+    "PlanResult",
+    "execute_stage",
     "MESH_BUILDERS",
     "STAGES",
     "STAGE_ORDER",
+    "STAGE_INPUTS",
     "MeshStage",
     "LevelStage",
     "PartitionStage",

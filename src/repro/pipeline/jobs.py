@@ -14,6 +14,12 @@ follows the same pattern with ``REPRO_EXECUTOR``; its ``"auto"``
 default lets the partitioner pick threads for small graphs and
 shared-memory processes (:class:`~repro.graph.shared.SharedCSR`) at
 scale.
+
+The stage-DAG layer resolves its worker counts here too: a
+:class:`~repro.pipeline.scheduler.DagScheduler` built without an
+explicit ``max_workers`` sizes its pool through
+:func:`resolve_n_jobs`, so one knob governs both the partitioner's
+inner parallelism and the scheduler's node-level concurrency.
 """
 
 from __future__ import annotations

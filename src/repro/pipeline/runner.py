@@ -1,24 +1,25 @@
 """The pipeline runner: execute a :class:`Scenario` chain with
 content-addressed reuse of every prefix.
 
-``Pipeline.run`` walks the five stages in order.  For each stage it
-derives the content address (config + upstream digests), consults the
-store (memory LRU, then disk), and only computes on a genuine miss —
-so a second invocation with an unchanged config is served from cache
-for every stage, observable in ``RunRecord.provenance`` and via the
-CLI's ``repro pipeline run --explain``.
+Execution goes through the stage-DAG layer: ``Pipeline.run`` compiles
+a one-scenario :class:`~repro.pipeline.plan.StagePlan` and hands it to
+the :class:`~repro.pipeline.scheduler.DagScheduler`; ``run_batch``
+compiles *one merged plan* over the whole batch, so scenarios sharing
+a mesh/levels prefix execute each shared stage exactly once and the
+riders record it as ``"shared"`` provenance (distinct from a store
+cache hit — see ``RunRecord.explain``).
 
-``run_batch`` executes independent pipeline instances (e.g. a
-``--sweep domains=32,64,128``) through the same thread-pool machinery
-the parallel partitioner uses, with cache-hit short-circuiting: a
-scenario whose chain is fully cached costs only the lookups.
+``Pipeline.run_linear`` keeps the original straight-line chain as the
+oracle path (same pattern as ``graph/reference.py``): both paths call
+the same :func:`~repro.pipeline.scheduler.execute_stage` store
+protocol, and the equivalence tests pin bit-identical artifacts and
+digests between them.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
@@ -30,9 +31,10 @@ from ..mesh.structures import Mesh
 from ..partitioning import DomainDecomposition
 from ..taskgraph.dag import TaskDAG
 from .config import Scenario
-from .hashing import canonical_json, stage_digest
 from .jobs import resolve_n_jobs
-from .stages import STAGE_ORDER, STAGES
+from .plan import StagePlan, compile_plan
+from .scheduler import DagScheduler, PlanResult, execute_stage
+from .stages import STAGE_ORDER
 from .store import ArtifactStore, default_store
 
 __all__ = [
@@ -50,12 +52,14 @@ class StageRecord:
 
     stage: str
     digest: str
-    cache: str | None  # "memory" | "disk" | None (computed fresh)
+    #: "memory" | "disk" (store hits), "shared" (another job in the
+    #: same merged plan computed this node), or None (computed fresh).
+    cache: str | None
     wall_time: float
 
     @property
     def hit(self) -> bool:
-        """Whether the stage was served from cache."""
+        """Whether the stage was served without computing it here."""
         return self.cache is not None
 
 
@@ -85,8 +89,24 @@ class RunRecord:
 
     @property
     def cache_hits(self) -> int:
-        """Number of stages served from cache."""
+        """Number of stages served without computing (store + shared)."""
         return sum(1 for r in self.provenance.values() if r.hit)
+
+    @property
+    def store_hits(self) -> int:
+        """Stages served from the artifact store (memory or disk)."""
+        return sum(
+            1
+            for r in self.provenance.values()
+            if r.cache in ("memory", "disk")
+        )
+
+    @property
+    def shared_hits(self) -> int:
+        """Stages reused from another job in the same merged plan."""
+        return sum(
+            1 for r in self.provenance.values() if r.cache == "shared"
+        )
 
     @property
     def all_cached(self) -> bool:
@@ -96,7 +116,12 @@ class RunRecord:
         )
 
     def explain(self) -> str:
-        """Human-readable per-stage provenance table."""
+        """Human-readable per-stage provenance table.
+
+        Sources: ``computed`` (ran here), ``memory``/``disk`` (store
+        cache hits), ``shared`` (another scenario in the same merged
+        plan computed the node — plan-time dedup, no store lookup).
+        """
         lines = []
         for name in STAGE_ORDER:
             rec = self.provenance.get(name)
@@ -106,6 +131,11 @@ class RunRecord:
             lines.append(
                 f"{name:>10s}  {rec.digest[:16]}  {source:<8s} "
                 f"{1e3 * rec.wall_time:9.2f} ms"
+            )
+        if self.shared_hits:
+            lines.append(
+                f"{'':>10s}  ({self.store_hits} store hit(s), "
+                f"{self.shared_hits} shared-prefix reuse(s))"
             )
         return "\n".join(lines)
 
@@ -157,72 +187,10 @@ class Pipeline:
         upstream_digests: Sequence[str],
         upstream_objects: Sequence[Any],
     ) -> tuple[Any, str]:
-        stage = STAGES[name]
-        digest = stage_digest(
-            stage.name, stage.version, config, upstream_digests
-        )
         t0 = time.perf_counter()
-        obj = self.store.memory_get(digest)
-        cache: str | None = None
-        if obj is not None:
-            cache = "memory"
-            self.store.stats.memory_hits += 1
-        else:
-            payload = self.store.disk_read(stage.name, digest)
-            if payload is not None:
-                meta = payload.sidecar.get("meta") or {}
-                obj = stage.unpack(payload.arrays, meta, *upstream_objects)
-                cache = "disk"
-                self.store.stats.disk_hits += 1
-            else:
-                # Cross-process coordination: on a shared miss exactly
-                # one worker wins the claim and computes; the others
-                # block on the claim and read the published artifact.
-                # Up to two reader rounds absorb a winner whose publish
-                # turned out corrupt (quarantined on read).
-                for _ in range(3):
-                    lease = self.store.claim(stage.name, digest)
-                    if lease is not None and lease.role == "reader":
-                        lease.release()
-                        payload = self.store.disk_read(stage.name, digest)
-                        if payload is not None:
-                            meta = payload.sidecar.get("meta") or {}
-                            obj = stage.unpack(
-                                payload.arrays, meta, *upstream_objects
-                            )
-                            cache = "disk"
-                            self.store.stats.disk_hits += 1
-                            break
-                        continue  # published entry unreadable; re-claim
-                    try:
-                        self.store.stats.misses += 1
-                        obj = stage.compute(config, *upstream_objects)
-                        wall = time.perf_counter() - t0
-                        arrays, meta = stage.pack(obj)
-                        self.store.disk_write(
-                            stage.name,
-                            digest,
-                            arrays,
-                            sidecar={
-                                "config": canonical_json(config),
-                                "upstream": list(upstream_digests),
-                                "stage_version": stage.version,
-                                "wall_time": wall,
-                                "created": time.time(),
-                                "meta": meta,
-                            },
-                            lease=lease,
-                        )
-                    finally:
-                        if lease is not None:
-                            lease.release()
-                    break
-                if obj is None:
-                    # Pathological: every published copy we were told
-                    # to read was corrupt.  Compute locally, uncached.
-                    self.store.stats.misses += 1
-                    obj = stage.compute(config, *upstream_objects)
-            self.store.memory_put(digest, obj)
+        obj, digest, cache, _ = execute_stage(
+            self.store, name, config, upstream_digests, upstream_objects
+        )
         record.provenance[name] = StageRecord(
             stage=name,
             digest=digest,
@@ -238,6 +206,20 @@ class Pipeline:
         """Execute the chain up to and including stage ``through``
         (``"mesh"``, ``"levels"``, ``"partition"``, ``"taskgraph"``
         or ``"schedule"``)."""
+        if through not in STAGE_ORDER:
+            raise ValueError(
+                f"unknown stage {through!r}; choose from {STAGE_ORDER}"
+            )
+        scenario = self._resolved(scenario)
+        plan = compile_plan([scenario], through=through)
+        result = DagScheduler(self.store, max_workers=1).execute(plan)
+        return _record_from_plan(plan, result, 0)
+
+    def run_linear(
+        self, scenario: Scenario, *, through: str = "schedule"
+    ) -> RunRecord:
+        """The original straight-line chain, kept as the oracle the
+        DAG path is tested bit-identical against."""
         if through not in STAGE_ORDER:
             raise ValueError(
                 f"unknown stage {through!r}; choose from {STAGE_ORDER}"
@@ -292,6 +274,53 @@ class Pipeline:
 
 
 # ---------------------------------------------------------------------
+_FIELD_OF_STAGE = {
+    "mesh": "mesh",
+    "levels": "tau",
+    "partition": "decomp",
+    "taskgraph": "dag",
+}
+
+
+def _record_from_plan(
+    plan: StagePlan, result: PlanResult, job: int
+) -> RunRecord:
+    """Assemble one job's :class:`RunRecord` from an executed plan.
+
+    Raises the job's causal exception if any node along its chain
+    failed or was skipped — matching the linear path, where the stage
+    exception propagated out of ``run``.
+    """
+    state = result.job_state(job)
+    if state != "done":
+        error = result.job_error(job)
+        if error is not None:
+            raise error
+        raise RuntimeError(
+            f"plan execution {state} before job {job} completed"
+        )
+    record = RunRecord(
+        scenario=plan.scenarios[job], mesh=None, tau=None  # type: ignore[arg-type]
+    )
+    for name, key in plan.job_stages[job].items():
+        node = result.nodes[key]
+        cache = result.job_cache(job, key)
+        record.provenance[name] = StageRecord(
+            stage=name,
+            digest=key,
+            cache=cache,
+            # A shared node's wall time belongs to the job that ran
+            # it; riders got the object for free.
+            wall_time=0.0 if cache == "shared" else node.wall_time,
+        )
+        obj = result.objects[key]
+        if name == "schedule":
+            record.trace, record.metrics = obj
+        else:
+            setattr(record, _FIELD_OF_STAGE[name], obj)
+    return record
+
+
 def expand_sweep(
     scenario: Scenario, sweep: dict[str, Sequence[Any]]
 ) -> list[Scenario]:
@@ -316,21 +345,27 @@ def run_batch(
     n_jobs: int | None = None,
     through: str = "schedule",
 ) -> list[RunRecord]:
-    """Run independent pipeline instances, in parallel when asked.
+    """Run a batch of scenarios as **one merged stage-DAG**.
 
-    The resolved worker count drives the *outer* scenario pool; each
-    inner partitioning call stays serial so a sweep's cache keys match
-    the single-scenario runs users launch interactively.  Fully cached
-    scenarios short-circuit to store lookups.
+    Chains sharing a prefix (same mesh/levels configs, say, differing
+    only in partition seed) collapse onto shared plan nodes: each
+    shared stage executes exactly once, and the scenarios that didn't
+    run it record ``"shared"`` provenance.  The resolved worker count
+    bounds the scheduler's pool; each inner partitioning call stays
+    serial so a sweep's cache keys match the single-scenario runs
+    users launch interactively.  Fully cached scenarios short-circuit
+    to store lookups, exactly as before.
     """
     store = store if store is not None else default_store()
+    if not scenarios:
+        return []
     jobs = resolve_n_jobs(n_jobs)
-    pipe = Pipeline(store, n_jobs=1)
-    if jobs == 1 or len(scenarios) <= 1:
-        return [pipe.run(sc, through=through) for sc in scenarios]
-    with ThreadPoolExecutor(
-        max_workers=min(jobs, len(scenarios))
-    ) as pool:
-        return list(
-            pool.map(lambda sc: pipe.run(sc, through=through), scenarios)
-        )
+    plan = compile_plan(scenarios, through=through)
+    scheduler = DagScheduler(
+        store, max_workers=min(jobs, len(scenarios))
+    )
+    result = scheduler.execute(plan)
+    return [
+        _record_from_plan(plan, result, j)
+        for j in range(len(scenarios))
+    ]

@@ -53,6 +53,7 @@ __all__ = [
     "ScheduleStage",
     "STAGES",
     "STAGE_ORDER",
+    "STAGE_INPUTS",
 ]
 
 _MESH_FIELDS = (
@@ -331,3 +332,19 @@ STAGES = {
     )
 }
 STAGE_ORDER = tuple(STAGES)
+
+#: Stage name → upstream stage names, in ``compute``-argument order.
+#: This is the single declaration of the chain's dependency structure:
+#: the plan compiler (:mod:`repro.pipeline.plan`) derives its edges
+#: from it, and each entry matches the positional ``*upstream``
+#: signature of the stage's ``compute``/``unpack``.  Note the schedule
+#: stage does **not** read the mesh or the τ field directly — which is
+#: exactly what lets a merged plan run two scenarios' schedule nodes
+#: as soon as their partition/taskgraph nodes land.
+STAGE_INPUTS: dict[str, tuple[str, ...]] = {
+    "mesh": (),
+    "levels": ("mesh",),
+    "partition": ("mesh", "levels"),
+    "taskgraph": ("mesh", "levels", "partition"),
+    "schedule": ("partition", "taskgraph"),
+}

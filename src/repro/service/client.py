@@ -89,6 +89,59 @@ class ServiceClient:
                     raise
                 time.sleep(delay)
 
+    def submit_many(
+        self,
+        scenario: str,
+        options_list: list[dict[str, Any]],
+        *,
+        through: str = "schedule",
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> list[str]:
+        """Submit one scenario under many option sets (a sweep) and
+        return the job ids, in order.
+
+        The natural feeder for a ``--dag`` daemon: jobs submitted
+        together land in one claim batch and their shared prefixes
+        collapse into single plan nodes.
+        """
+        return [
+            self.submit(
+                scenario,
+                options=options,
+                through=through,
+                block=block,
+                timeout=timeout,
+            )
+            for options in options_list
+        ]
+
+    def wait_many(
+        self,
+        job_ids: list[str],
+        *,
+        timeout: float | None = None,
+        poll: float = 0.1,
+        poll_cap: float = 2.0,
+    ) -> list[JobStatus]:
+        """Block until *every* job is terminal; statuses in input
+        order.  ``timeout`` bounds the whole batch, not each job."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        statuses = []
+        for job_id in job_ids:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            statuses.append(
+                self.wait(
+                    job_id,
+                    timeout=remaining,
+                    poll=poll,
+                    poll_cap=poll_cap,
+                )
+            )
+        return statuses
+
     def status(self, job_id: str) -> JobStatus | None:
         """Current typed status (``None`` for an unknown id)."""
         return self.queue.status(job_id)

@@ -54,7 +54,6 @@ stage, giving the signal/drain tests a deterministic mid-job window.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import shutil
@@ -73,6 +72,7 @@ from ..resilience.sentinel import (
     ResourceSentinel,
 )
 from ..runtime.executor import RetryPolicy
+from ..util.fsjson import atomic_write_json, read_json
 from .queue import JobRequest, JobStatus, SpoolQueue, sweep_stale_spool
 
 __all__ = ["ServeDaemon", "read_health"]
@@ -86,18 +86,10 @@ _EXIT_CHAOS = 86  # injected worker death (chaos harness)
 LIVENESS_TTL = 30.0
 
 
-def _atomic_json(path: Path, payload: dict[str, Any]) -> None:
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(payload), encoding="utf-8")
-    os.replace(tmp, path)
-
-
-def _read_json(path: Path) -> dict[str, Any] | None:
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return None
-    return data if isinstance(data, dict) else None
+# The daemon's high-frequency records (heartbeats, progress) use the
+# shared crash-safe writer in its compact default format.
+_atomic_json = atomic_write_json
+_read_json = read_json
 
 
 def _child_main(
@@ -285,6 +277,20 @@ class ServeDaemon:
         Max age of the ``health/`` liveness/pressure files.
     fault_plan:
         Optional seeded chaos hook (see module docstring).
+    dag:
+        Stage-DAG batch mode: instead of one child process per job,
+        claim up to ``dag_batch`` compatible pending jobs together,
+        compile them into **one merged**
+        :class:`~repro.pipeline.plan.StagePlan` and execute it in-
+        process on a :class:`~repro.pipeline.scheduler.DagScheduler`
+        pool of ``workers`` threads — scenarios sharing a mesh/levels
+        prefix execute each shared stage exactly once.  Stage-level
+        progress streaming, retries with backoff, pressure degradation
+        and dead-letter/circuit-breaker semantics are preserved at job
+        granularity; the per-stage watchdog does not apply (no child
+        process to terminate — the drain path covers stuck batches).
+    dag_batch:
+        Max jobs merged into one plan per claim round in ``dag`` mode.
     """
 
     def __init__(
@@ -300,6 +306,8 @@ class ServeDaemon:
         drain_grace: float = 5.0,
         health_interval: float = 1.0,
         fault_plan: FaultPlan | None = None,
+        dag: bool = False,
+        dag_batch: int = 8,
     ) -> None:
         self.queue = spool if isinstance(spool, SpoolQueue) else SpoolQueue(spool)
         self.store_root = str(store_root) if store_root is not None else None
@@ -324,6 +332,11 @@ class ServeDaemon:
         self.drain_grace = float(drain_grace)
         self.health_interval = float(health_interval)
         self.fault_plan = fault_plan
+        self.dag = bool(dag)
+        if dag_batch < 1:
+            raise ValueError("dag_batch must be >= 1")
+        self.dag_batch = int(dag_batch)
+        self._store: Any = None  # lazy shared store for dag mode
         self._job_seq = 0
         self._seq_lock = threading.Lock()
         self._ctx = multiprocessing.get_context("spawn")
@@ -509,7 +522,21 @@ class ServeDaemon:
                     break
                 claimed = None
                 if len(threads) < self._target_workers(sample.state):
-                    claimed = self.queue.claim_next()
+                    if self.dag:
+                        limit = self.dag_batch
+                        if max_jobs is not None:
+                            limit = min(limit, max_jobs - done)
+                        batch = self._claim_batch(max(1, limit))
+                        if batch:
+                            idle_since = time.monotonic()
+                            self._inflight = len(batch)
+                            try:
+                                self._process_batch(batch, sample)
+                            finally:
+                                self._inflight = 0
+                            continue
+                    else:
+                        claimed = self.queue.claim_next()
                 if claimed is None:
                     if (
                         not threads
@@ -747,6 +774,395 @@ class ServeDaemon:
 
             return STAGE_ORDER[0]
         return None
+
+    def _chaos_transient(self, seq: int, attempt: int) -> bool:
+        """Seeded transient-fault injection for dag mode (no child to
+        kill; the job is excluded from the plan and the attempt counts
+        as a retryable transient failure)."""
+        if self.fault_plan is None:
+            return False
+        hits = self.fault_plan.decide(seq, attempt)
+        if any(s.kind == "transient" for s in hits):
+            with self.fault_plan._lock:
+                self.fault_plan.injected["transient"] += 1
+            return True
+        return False
+
+    # -- dag mode ------------------------------------------------------
+    def _claim_batch(self, limit: int) -> list[tuple[str, JobRequest, dict]]:
+        """Claim up to ``limit`` pending jobs for one merged plan."""
+        batch: list[tuple[str, JobRequest, dict]] = []
+        while len(batch) < limit:
+            claimed = self.queue.claim_next()
+            if claimed is None:
+                break
+            batch.append(claimed)
+        return batch
+
+    def _dag_store(self) -> Any:
+        """The daemon-wide artifact store dag batches run against —
+        shared across batches, so a retried attempt (and every later
+        batch) reuses each stage the failed round already published."""
+        if self._store is None:
+            from ..pipeline import ArtifactStore
+
+            self._store = (
+                ArtifactStore(self.store_root)
+                if self.store_root
+                else ArtifactStore()
+            )
+        return self._store
+
+    def _process_batch(
+        self,
+        batch: list[tuple[str, JobRequest, dict]],
+        sample: PressureSample | None,
+    ) -> None:
+        """Run one claimed batch as a merged stage-DAG, to terminal
+        states (with shared retries).
+
+        Per-job semantics match the child-process path: success →
+        ``done`` (result payload gains a ``dedup`` block), typed
+        deterministic failure → ``failed``, transient retry budget
+        exhausted → ``deadletter`` with a forensic bundle and an open
+        breaker, drain mid-plan → not-yet-finished jobs requeue.
+        Failure isolation is per node: a job failing in its unshared
+        suffix never touches jobs whose chains avoid that node.
+        """
+        from ..pipeline import get_scenario
+
+        store = self._dag_store()
+        jobs: list[dict[str, Any]] = []
+        for job_id, request, record in batch:
+            with self._seq_lock:
+                self._job_seq += 1
+                seq = self._job_seq
+            status = JobStatus(
+                job_id=job_id,
+                state="running",
+                request=request.to_dict(),
+                submitted_at=float(
+                    (record or {}).get("submitted_at") or 0.0
+                ),
+                started_at=time.time(),
+                worker={
+                    "daemon_pid": os.getpid(),
+                    "hostname": socket.gethostname(),
+                    "mode": "dag",
+                },
+                pressure=sample.to_dict() if sample is not None else None,
+            )
+            try:
+                scenario = get_scenario(request.scenario, **request.options)
+            except Exception as exc:
+                status.state = "failed"
+                status.error = str(exc)
+                status.error_kind = type(exc).__name__
+                status.finished_at = time.time()
+                self.queue.finish(job_id, status)
+                with self._seq_lock:
+                    self._completed += 1
+                continue
+            jobs.append(
+                {
+                    "job_id": job_id,
+                    "request": request,
+                    "status": status,
+                    "scenario": scenario,
+                    "seq": seq,
+                }
+            )
+
+        attempt = 0
+        while jobs:
+            retrying = self._run_batch_round(jobs, store, attempt)
+            if not retrying:
+                break
+            if self._stop.is_set():
+                self._requeue_entries(retrying)
+                return
+            delay = self.retry.delay(attempt + 1)
+            if delay > 0 and self._stop.wait(delay):
+                self._requeue_entries(retrying)
+                return
+            jobs = retrying
+            attempt += 1
+
+    def _requeue_entries(self, entries: list[dict[str, Any]]) -> None:
+        for entry in entries:
+            self.queue.requeue(entry["job_id"])
+            self._requeued_on_drain += 1
+            entry["status"].state = "pending"
+
+    def _run_batch_round(
+        self,
+        jobs: list[dict[str, Any]],
+        store: Any,
+        attempt: int,
+    ) -> list[dict[str, Any]]:
+        """One merged-plan attempt over the still-active jobs; returns
+        the entries to retry next round."""
+        from ..pipeline.plan import compile_plan
+        from ..pipeline.scheduler import DagScheduler, NodeResult
+        from ..resilience.errors import TransientError
+
+        active: list[dict[str, Any]] = []
+        outcomes: list[tuple[dict[str, Any], str, dict[str, Any]]] = []
+        for entry in jobs:
+            status = entry["status"]
+            status.attempts = attempt + 1
+            status.stages = []
+            self.queue.write_status(status)
+            if self._chaos_transient(entry["seq"], attempt):
+                outcomes.append(
+                    (
+                        entry,
+                        "transient",
+                        {
+                            "kind": "TransientError",
+                            "message": "injected transient fault (chaos)",
+                        },
+                    )
+                )
+            else:
+                active.append(entry)
+
+        if active:
+            plan = compile_plan(
+                [e["scenario"] for e in active],
+                through=[e["request"].through for e in active],
+            )
+            finished_at: dict[str, float] = {}
+            shed = [False]
+
+            def on_node(node: NodeResult) -> None:
+                finished_at[node.key] = time.time()
+                snap = self._sample_pressure()
+                if (
+                    not shed[0]
+                    and snap.state >= PressureState.HARD
+                ):
+                    store.clear_memory()
+                    shed[0] = True
+                    for e in active:
+                        e["status"].degradation.append(
+                            "HARD: shed in-memory store tier in dag batch"
+                        )
+                if node.state != "done":
+                    return
+                first = min(node.jobs, default=0)
+                for j in node.jobs:
+                    e = active[j]
+                    cache = (
+                        node.cache
+                        if node.cache is not None or j == first
+                        else "shared"
+                    )
+                    e["status"].stages.append(
+                        {
+                            "stage": node.stage,
+                            "digest": node.key,
+                            "cache": cache,
+                            "wall_time": (
+                                node.wall_time if cache != "shared" else 0.0
+                            ),
+                            "finished_at": finished_at[node.key],
+                        }
+                    )
+                    e["status"].heartbeat = time.time()
+                    self.queue.write_status(e["status"])
+
+            scheduler = DagScheduler(
+                store,
+                max_workers=max(1, self.workers),
+                on_node=on_node,
+                should_stop=lambda: self._stop.is_set(),
+            )
+            result = scheduler.execute(plan)
+            for j, entry in enumerate(active):
+                state = result.job_state(j)
+                if state == "done":
+                    outcomes.append(
+                        (
+                            entry,
+                            "done",
+                            self._dag_result(
+                                plan, result, j, store, finished_at
+                            ),
+                        )
+                    )
+                elif state == "cancelled":
+                    outcomes.append(
+                        (
+                            entry,
+                            "drained",
+                            {
+                                "kind": "Drained",
+                                "message": "daemon draining; job requeued",
+                            },
+                        )
+                    )
+                else:
+                    error = result.job_error(j)
+                    kind = type(error).__name__ if error else "JobFailed"
+                    detail = {
+                        "kind": kind,
+                        "message": str(error) if error else "stage failed",
+                    }
+                    outcome = (
+                        "transient"
+                        if isinstance(error, TransientError)
+                        else "permanent"
+                    )
+                    outcomes.append((entry, outcome, detail))
+
+        retrying: list[dict[str, Any]] = []
+        for entry, outcome, detail in outcomes:
+            status = entry["status"]
+            job_id = entry["job_id"]
+            stage_reached = (
+                status.stages[-1]["stage"] if status.stages else None
+            )
+            status.history.append(
+                {
+                    "attempt": attempt + 1,
+                    "outcome": outcome,
+                    "kind": detail.get("kind"),
+                    "message": detail.get("message"),
+                    "exit_code": None,
+                    "stage_reached": stage_reached,
+                    "started_at": status.started_at,
+                    "finished_at": time.time(),
+                }
+            )
+            if outcome == "done":
+                status.state = "done"
+                status.result = detail
+                status.stages = list(detail.get("stages") or status.stages)
+                for note in detail.get("degradation") or []:
+                    if note not in status.degradation:
+                        status.degradation.append(note)
+                status.finished_at = time.time()
+                self.queue.finish(job_id, status)
+                with self._seq_lock:
+                    self._completed += 1
+                continue
+            if outcome == "drained":
+                self._requeue_entries([entry])
+                continue
+            if outcome == "transient":
+                if attempt < self.retry.max_retries:
+                    warnings.warn(
+                        f"job {job_id} attempt {attempt + 1} failed "
+                        f"({detail.get('message')}); retrying",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    retrying.append(entry)
+                    continue
+                reason = (
+                    f"retry budget exhausted "
+                    f"({self.retry.max_retries} retries)"
+                )
+                status.error = (
+                    f"{detail.get('message')} [dead-lettered: {reason}]"
+                )
+                status.error_kind = str(detail.get("kind"))
+                status.finished_at = time.time()
+                entry_path = self.queue.deadletter(
+                    job_id, status, workdir=self._dag_forensics(entry)
+                )
+                warnings.warn(
+                    f"dead-lettered job {job_id} ({reason}); breaker "
+                    f"open, evidence at {entry_path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                with self._seq_lock:
+                    self._completed += 1
+                continue
+            # Typed deterministic failure: terminal, with the partial
+            # provenance the merged plan streamed before the failure.
+            status.state = "failed"
+            status.error = str(detail.get("message"))
+            status.error_kind = str(detail.get("kind"))
+            status.finished_at = time.time()
+            self.queue.finish(job_id, status)
+            with self._seq_lock:
+                self._completed += 1
+        return retrying
+
+    def _dag_forensics(self, entry: dict[str, Any]) -> Path:
+        """Materialize a forensic workdir for a dag-mode dead-letter
+        (the child path leaves these behind naturally)."""
+        status = entry["status"]
+        workdir = self.queue.workdir(entry["job_id"])
+        workdir.mkdir(parents=True, exist_ok=True)
+        _atomic_json(
+            workdir / "progress.json",
+            {
+                "stages": status.stages,
+                "heartbeat": time.time(),
+                "degradation": status.degradation,
+            },
+        )
+        _atomic_json(
+            workdir / "error.json",
+            {"kind": status.error_kind, "message": status.error},
+        )
+        return workdir
+
+    @staticmethod
+    def _dag_result(
+        plan: Any,
+        result: Any,
+        job: int,
+        store: Any,
+        finished_at: dict[str, float],
+    ) -> dict[str, Any]:
+        """The ``result`` payload of one dag-mode job — same shape the
+        child process publishes, plus a ``dedup`` block splitting
+        shared-prefix reuse from store hits."""
+        stages: list[dict[str, Any]] = []
+        dedup = {"shared": 0, "store": 0, "computed": 0}
+        rec_metrics = None
+        for name, key in plan.job_stages[job].items():
+            node = result.nodes[key]
+            cache = result.job_cache(job, key)
+            if cache == "shared":
+                dedup["shared"] += 1
+            elif cache in ("memory", "disk"):
+                dedup["store"] += 1
+            else:
+                dedup["computed"] += 1
+            stages.append(
+                {
+                    "stage": name,
+                    "digest": key,
+                    "cache": cache,
+                    "wall_time": (
+                        0.0 if cache == "shared" else node.wall_time
+                    ),
+                    "finished_at": finished_at.get(key) or time.time(),
+                }
+            )
+            if name == "schedule":
+                _, rec_metrics = result.objects[key]
+        payload: dict[str, Any] = {
+            "stages": stages,
+            "cache_hits": sum(
+                1 for s in stages if s["cache"] is not None
+            ),
+            "dedup": dedup,
+        }
+        if rec_metrics is not None:
+            payload["metrics"] = {
+                "makespan": float(rec_metrics.makespan),
+                "efficiency": float(rec_metrics.efficiency),
+            }
+        if store.stats.degraded:
+            payload["store_degraded"] = store.stats.degraded
+        return payload
 
     def _run_attempt(
         self,

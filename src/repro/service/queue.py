@@ -47,7 +47,6 @@ exactly the paper's shared-cluster setting.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import shutil
 import time
@@ -58,6 +57,7 @@ from typing import Any
 from ..pipeline.hashing import canonical_json
 from ..pipeline.locking import FileLock, parse_bytes, pid_alive
 from ..pipeline.stages import STAGE_ORDER
+from ..util.fsjson import atomic_write_json, read_json
 from ..resilience.errors import CircuitOpenError, QueueFull
 
 __all__ = [
@@ -161,17 +161,12 @@ class JobStatus:
 
 
 def _atomic_json(path: Path, payload: dict[str, Any]) -> None:
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
-    os.replace(tmp, path)
+    # Spool records stay indented + key-sorted: they are the protocol's
+    # human-auditable surface (forensic bundles, `repro serve status`).
+    atomic_write_json(path, payload, indent=1, sort_keys=True)
 
 
-def _read_json(path: Path) -> dict[str, Any] | None:
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return None
-    return data if isinstance(data, dict) else None
+_read_json = read_json
 
 
 @dataclass(frozen=True)

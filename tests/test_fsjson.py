@@ -1,0 +1,65 @@
+"""The shared crash-safe JSON helpers (repro.util.fsjson)."""
+
+import json
+import os
+
+from repro.util.fsjson import atomic_write_json, read_json
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        assert read_json(path) == {"a": 1, "b": [2, 3]}
+
+    def test_compact_by_default(self, tmp_path):
+        path = tmp_path / "rec.json"
+        atomic_write_json(path, {"b": 1, "a": 2})
+        # The daemon heartbeat format: json.dumps defaults, key order
+        # preserved.
+        assert path.read_text() == json.dumps({"b": 1, "a": 2})
+
+    def test_spool_format_knobs(self, tmp_path):
+        path = tmp_path / "rec.json"
+        atomic_write_json(path, {"b": 1, "a": 2}, indent=1, sort_keys=True)
+        # The spool record format: indented and key-sorted, byte-stable.
+        assert path.read_text() == json.dumps(
+            {"b": 1, "a": 2}, indent=1, sort_keys=True
+        )
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "rec.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert read_json(path) == {"v": 2}
+        # No tmp litter left behind on the happy path.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_tmp_name_is_pid_attributable(self, tmp_path):
+        # The gc sweeper attributes litter by pid suffix; pin the
+        # naming contract.
+        path = tmp_path / "rec.json"
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        assert not tmp.exists()
+        atomic_write_json(path, {})
+        assert not tmp.exists()
+
+
+class TestReadJson:
+    def test_missing_file(self, tmp_path):
+        assert read_json(tmp_path / "nope.json") is None
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"a": 1', encoding="utf-8")
+        assert read_json(path) is None
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert read_json(path) is None
+
+    def test_accepts_str_path(self, tmp_path):
+        path = tmp_path / "rec.json"
+        atomic_write_json(str(path), {"ok": True})
+        assert read_json(str(path)) == {"ok": True}

@@ -356,7 +356,7 @@ class TestScaleSuite:
         assert get_suite("partitioner") is SUITES["partitioner"]
         with pytest.raises(ValueError):
             get_suite("nope")
-        assert set(EXTRA_SUITES) == {"scale"}
+        assert set(EXTRA_SUITES) == {"scale", "dagsched"}
 
     def test_run_benchmarks_tiny_chain(self, monkeypatch):
         from repro.perf import scale_suite

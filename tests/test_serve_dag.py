@@ -1,0 +1,284 @@
+"""Serve-daemon ``--dag`` mode: merged-plan claiming, per-stage dedup
+provenance in results and status, failure isolation at job
+granularity, retries/dead-letter parity with the child-process path,
+and the CLI surface.
+
+The dag path runs batches in-process (no child per job), so these
+tests are cheap: ``scale=6`` scenarios, memory-or-tmp stores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.errors import JobFailedError
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.runtime.executor import RetryPolicy
+from repro.service import ServeDaemon, ServiceClient, SpoolQueue
+
+CHEAP = {"scale": 6, "domains": 6, "processes": 3, "cores": 2}
+
+
+def dag_daemon(spool, store=None, **over) -> ServeDaemon:
+    kwargs = dict(
+        store_root=store,
+        retry=RetryPolicy(max_retries=1, backoff=0.0),
+        poll=0.05,
+        dag=True,
+        workers=2,
+    )
+    kwargs.update(over)
+    return ServeDaemon(spool, **kwargs)
+
+
+def submit_seed_sweep(client: ServiceClient, n: int) -> list[str]:
+    return client.submit_many(
+        "characteristics",
+        [dict(CHEAP, seed=s) for s in range(n)],
+        through="schedule",
+    )
+
+
+class TestDagRoundTrip:
+    def test_batch_shares_prefix_and_completes(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        job_ids = submit_seed_sweep(client, 3)
+
+        daemon = dag_daemon(spool, str(tmp_path / "store"))
+        done = daemon.serve_forever(max_jobs=3, idle_timeout=5.0)
+        assert done == 3
+
+        results = [client.result(j, timeout=5.0) for j in job_ids]
+        # Every job reports the full chain with digests.
+        for result in results:
+            assert [s["stage"] for s in result["stages"]] == [
+                "mesh",
+                "levels",
+                "partition",
+                "taskgraph",
+                "schedule",
+            ]
+            assert "metrics" in result
+            assert "dedup" in result
+        # Exactly one job computed the shared mesh+levels prefix; the
+        # others rode it as "shared".
+        shared_totals = sum(r["dedup"]["shared"] for r in results)
+        computed_mesh = [
+            r
+            for r in results
+            if any(
+                s["stage"] == "mesh" and s["cache"] is None
+                for s in r["stages"]
+            )
+        ]
+        assert len(computed_mesh) == 1
+        assert shared_totals == 4  # 2 riders × (mesh + levels)
+
+    def test_results_identical_to_child_process_path(self, tmp_path):
+        spool_a = tmp_path / "spool-dag"
+        spool_b = tmp_path / "spool-proc"
+        client_a = ServiceClient(spool_a)
+        client_b = ServiceClient(spool_b)
+        ids_a = submit_seed_sweep(client_a, 2)
+        ids_b = submit_seed_sweep(client_b, 2)
+
+        dag_daemon(spool_a, str(tmp_path / "sa")).serve_forever(
+            max_jobs=2, idle_timeout=5.0
+        )
+        ServeDaemon(
+            spool_b,
+            store_root=str(tmp_path / "sb"),
+            retry=RetryPolicy(max_retries=1, backoff=0.0),
+            poll=0.05,
+        ).serve_forever(max_jobs=2, idle_timeout=30.0)
+
+        for ja, jb in zip(ids_a, ids_b):
+            ra = client_a.result(ja, timeout=5.0)
+            rb = client_b.result(jb, timeout=5.0)
+            # Same content addresses stage by stage — the bit-identity
+            # criterion, observed through the service surface.
+            assert [s["digest"] for s in ra["stages"]] == [
+                s["digest"] for s in rb["stages"]
+            ]
+            assert ra["metrics"] == rb["metrics"]
+
+    def test_worker_mode_marked_in_status(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        (job_id,) = submit_seed_sweep(client, 1)
+        dag_daemon(spool).serve_forever(max_jobs=1, idle_timeout=5.0)
+        status = client.status(job_id)
+        assert status.state == "done"
+        assert status.worker.get("mode") == "dag"
+
+
+class TestDagFailureIsolation:
+    def test_bad_job_fails_alone(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        good = client.submit("characteristics", options=dict(CHEAP))
+        # Same mesh prefix, bogus partition strategy: fails in its
+        # unshared suffix, deterministically.
+        bad = client.submit(
+            "characteristics",
+            options=dict(CHEAP, strategy="BOGUS"),
+        )
+        assert good != bad
+
+        daemon = dag_daemon(spool)
+        done = daemon.serve_forever(max_jobs=2, idle_timeout=5.0)
+        assert done == 2
+
+        assert client.result(good, timeout=5.0)["metrics"]
+        with pytest.raises(JobFailedError, match="BOGUS"):
+            client.result(bad, timeout=5.0)
+        status = client.status(bad)
+        assert status.state == "failed"
+        # The shared prefix it did complete is in its provenance.
+        assert [s["stage"] for s in status.stages][:2] == [
+            "mesh",
+            "levels",
+        ]
+
+    def test_unknown_scenario_fails_fast(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        job_id = client.submit("no-such-scenario")
+        daemon = dag_daemon(spool)
+        assert daemon.serve_forever(max_jobs=1, idle_timeout=5.0) == 1
+        with pytest.raises(JobFailedError, match="unknown scenario"):
+            client.result(job_id, timeout=5.0)
+
+
+class TestDagRetries:
+    def test_injected_transient_retries_then_succeeds(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        (job_id,) = submit_seed_sweep(client, 1)
+        # Fault plan: transient on attempt 0 only (first_attempt_only
+        # default), so the retry round succeeds.
+        plan = FaultPlan(
+            specs=[FaultSpec(kind="transient", rate=1.0)], seed=7
+        )
+        daemon = dag_daemon(spool, fault_plan=plan)
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            done = daemon.serve_forever(max_jobs=1, idle_timeout=5.0)
+        assert done == 1
+        assert plan.injected["transient"] >= 1
+        status = client.status(job_id)
+        assert status.state == "done"
+        assert status.attempts == 2
+        assert [e["outcome"] for e in status.history] == [
+            "transient",
+            "done",
+        ]
+
+    def test_transient_budget_exhaustion_deadletters(self, tmp_path):
+        spool = tmp_path / "spool"
+        client = ServiceClient(spool)
+        (job_id,) = submit_seed_sweep(client, 1)
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    kind="transient",
+                    rate=1.0,
+                    first_attempt_only=False,
+                )
+            ],
+            seed=7,
+        )
+        daemon = dag_daemon(
+            spool,
+            fault_plan=plan,
+            retry=RetryPolicy(max_retries=1, backoff=0.0),
+        )
+        with pytest.warns(RuntimeWarning, match="dead-lettered"):
+            assert daemon.serve_forever(max_jobs=1, idle_timeout=5.0) == 1
+        status = client.status(job_id)
+        assert status.state == "deadletter"
+        assert "retry budget exhausted" in (status.error or "")
+        # Breaker open: resubmission fast-fails.
+        from repro.resilience.errors import CircuitOpenError
+
+        with pytest.raises(CircuitOpenError):
+            submit_seed_sweep(client, 1)
+        # Forensic bundle landed.
+        q = SpoolQueue(spool)
+        record = q.deadletter_show(job_id)
+        assert record is not None
+        assert "error.json" in (record.get("bundle") or {})
+
+
+class TestDagCLI:
+    def test_serve_run_dag_and_status_overview(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spool = str(tmp_path / "spool")
+        client = ServiceClient(spool)
+        job_ids = submit_seed_sweep(client, 3)
+
+        rc = main(
+            [
+                "serve",
+                "run",
+                "--spool",
+                spool,
+                "--dag",
+                "--workers",
+                "2",
+                "--max-jobs",
+                "3",
+                "--idle-timeout",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "processed 3 job(s)" in out
+
+        # Per-job status line carries the dedup split.
+        rider = next(
+            j
+            for j in job_ids
+            if any(
+                s.get("cache") == "shared"
+                for s in (client.status(j).stages or [])
+            )
+        )
+        rc = main(
+            ["serve", "status", "--spool", spool, "--job-id", rider]
+        )
+        assert rc == 0
+        line = capsys.readouterr().out
+        assert "shared:2" in line
+
+        # Spool overview aggregates per-stage dedup counts.
+        rc = main(["serve", "status", "--spool", spool])
+        assert rc == 0
+        overview = capsys.readouterr().out
+        assert "done=3" in overview
+        assert "per-stage dedup" in overview
+        assert "shared=2" in overview  # mesh row: 2 riders
+
+    def test_serve_result_prints_dedup(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spool = str(tmp_path / "spool")
+        client = ServiceClient(spool)
+        job_ids = submit_seed_sweep(client, 2)
+        dag_daemon(spool).serve_forever(max_jobs=2, idle_timeout=5.0)
+        rc = main(
+            [
+                "serve",
+                "result",
+                "--spool",
+                spool,
+                "--job-id",
+                job_ids[1],
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dedup:" in out
+        assert "shared" in out
