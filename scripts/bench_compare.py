@@ -53,7 +53,13 @@ def main(argv: list[str] | None = None) -> int:
         help="which perf suite(s) to run ('all' = the cheap default "
         "suites; the scale chain must be requested by name)",
     )
-    ap.add_argument("--size", choices=["smoke", "full", "both"], default="both")
+    ap.add_argument(
+        "--size",
+        choices=["smoke", "full", "both", "paper"],
+        default="both",
+        help="benchmark size; 'paper' (6.4M-cell cylinder chain) is "
+        "scale-suite only",
+    )
     ap.add_argument("--repeats", type=int, default=3)
     ap.add_argument("--seed", type=int, default=3)
     ap.add_argument("--jobs", type=int, default=2)
@@ -93,6 +99,13 @@ def main(argv: list[str] | None = None) -> int:
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    if args.size == "paper" and suites != ["scale"]:
+        print(
+            "--size paper is only defined for the scale suite "
+            "(--suite scale --size paper)",
+            file=sys.stderr,
+        )
+        return 2
     rc = 0
     for name in suites:
         mod = get_suite(name)

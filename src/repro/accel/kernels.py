@@ -14,7 +14,16 @@ the float arithmetic of its reference path:
   pre-permuted so RNG consumption is unchanged);
 * :func:`flusim_release` — the sequential per-edge successor release
   of the FLUSIM batched engine (releasing a duplicate edge at its
-  last occurrence, exactly like the vectorized dedup-keep-last).
+  last occurrence, exactly like the vectorized dedup-keep-last);
+* :func:`contract_merge` — the parallel-edge merge of
+  :func:`repro.graph.coarsen.contract`: a two-pass stable counting
+  sort by ``(cdst, csrc)`` reproduces ``np.argsort(key,
+  kind="stable")`` permutation for permutation, and the sequential
+  run-sum then matches the reference ``np.bincount`` accumulation
+  order exactly;
+* :func:`fm_degrees` — the internal/external degree recomputation of
+  :func:`repro.graph.refine._degrees`, accumulating per-vertex in CSR
+  edge order — the same sequential order ``np.bincount`` uses.
 """
 
 from __future__ import annotations
@@ -23,7 +32,13 @@ import numpy as np
 
 from . import maybe_jit
 
-__all__ = ["fm_unit_pass", "hem_tail_match", "flusim_release"]
+__all__ = [
+    "fm_unit_pass",
+    "hem_tail_match",
+    "flusim_release",
+    "contract_merge",
+    "fm_degrees",
+]
 
 
 @maybe_jit
@@ -226,6 +241,87 @@ def hem_tail_match(xadj, adjncy, adjwgt, vwgt, match, cand_perm, multi):
         if best >= 0:
             match[v] = best
             match[best] = v
+    return 0
+
+
+@maybe_jit
+def contract_merge(csrc, cdst, w, nc, gsrc, gdst, gw, deg):
+    """Merge the mapped coarse edge list ``(csrc, cdst, w)``.
+
+    Sorts the edges with a two-pass stable counting sort — by ``cdst``
+    first, then by ``csrc`` — which yields exactly the permutation of
+    ``np.argsort(csrc * nc + cdst, kind="stable")``, then sums each
+    parallel-edge run sequentially in sorted order (the same float64
+    accumulation order as the reference ``np.bincount`` over group
+    ids).  Fills prefixes of ``gsrc``/``gdst``/``gw`` (capacity >=
+    ``len(csrc)``), adds per-source merged-edge counts into ``deg``
+    (length ``nc``, zero-initialized) and returns the merged count.
+
+    ``w`` must be float64 (the caller upcasts narrowed graphs, exactly
+    as ``np.bincount`` would).
+    """
+    m = csrc.shape[0]
+    # Pass 1: stable counting sort by destination.
+    cnt = np.zeros(nc + 1, dtype=np.int64)
+    for i in range(m):
+        cnt[cdst[i] + 1] += 1
+    for c in range(nc):
+        cnt[c + 1] += cnt[c]
+    order1 = np.empty(m, dtype=np.int64)
+    for i in range(m):
+        d = cdst[i]
+        order1[cnt[d]] = i
+        cnt[d] += 1
+    # Pass 2: stable counting sort by source over the pass-1 order.
+    cnt2 = np.zeros(nc + 1, dtype=np.int64)
+    for i in range(m):
+        cnt2[csrc[i] + 1] += 1
+    for c in range(nc):
+        cnt2[c + 1] += cnt2[c]
+    order = np.empty(m, dtype=np.int64)
+    for k in range(m):
+        i = order1[k]
+        s = csrc[i]
+        order[cnt2[s]] = i
+        cnt2[s] += 1
+    # Run-sum of parallel edges in sorted order.
+    ng = 0
+    prev_s = np.int64(-1)
+    prev_d = np.int64(-1)
+    for k in range(m):
+        i = order[k]
+        s = csrc[i]
+        d = cdst[i]
+        if ng > 0 and s == prev_s and d == prev_d:
+            gw[ng - 1] += w[i]
+        else:
+            gsrc[ng] = s
+            gdst[ng] = d
+            gw[ng] = w[i]
+            deg[s] += 1
+            ng += 1
+            prev_s = s
+            prev_d = d
+    return ng
+
+
+@maybe_jit
+def fm_degrees(xadj, adjncy, adjwgt, part, ideg, edeg):
+    """Internal/external degrees of every vertex w.r.t. a bisection.
+
+    Accumulates into zero-initialized float64 ``ideg``/``edeg`` in CSR
+    edge order — the same sequential order as the reference
+    ``np.bincount`` over the edge list, so the sums are bit-identical.
+    ``adjwgt`` must be float64 (the caller upcasts, as bincount does).
+    """
+    n = xadj.shape[0] - 1
+    for v in range(n):
+        pv = part[v]
+        for idx in range(xadj[v], xadj[v + 1]):
+            if part[adjncy[idx]] == pv:
+                ideg[v] += adjwgt[idx]
+            else:
+                edeg[v] += adjwgt[idx]
     return 0
 
 

@@ -255,6 +255,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
     sizes = ("smoke", "full") if args.size == "both" else (args.size,)
+    if args.size == "paper" and suites != ["scale"]:
+        print(
+            "--size paper is only defined for the scale suite "
+            "(repro bench --suite scale --size paper)",
+            file=sys.stderr,
+        )
+        return 2
     rc = 0
     for name in suites:
         mod = get_suite(name)
@@ -647,7 +654,10 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     if removed:
         for name in removed:
             print(f"{verb} stale segment {name}")
-    print(f"gc: {verb} {len(removed)} stale shared-memory segment(s)")
+    print(
+        f"gc: {verb} {len(removed)} stale shared-memory/mmap segment(s) "
+        "(incl. hierarchy spill files)"
+    )
     if args.spool is not None:
         from .service import sweep_stale_spool
 
@@ -789,7 +799,11 @@ def main(argv: list[str] | None = None) -> int:
         "minutes-long scale and dagsched suites; ask for them by name)",
     )
     p.add_argument(
-        "--size", choices=["smoke", "full", "both"], default="full"
+        "--size",
+        choices=["smoke", "full", "both", "paper"],
+        default="full",
+        help="benchmark size; 'paper' (6.4M-cell cylinder chain) is "
+        "scale-suite only",
     )
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--seed", type=int, default=3)

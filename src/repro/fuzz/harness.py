@@ -23,10 +23,16 @@
   must be bit-identical to the wide int64/float64 path — the
   equivalence gate behind the scale tier's index/weight narrowing;
 * **kernel-tier differentials** — the compiled-tier kernels
-  (:mod:`repro.accel`: FM unit pass, HEM greedy tail, FLUSIM release)
-  are forced on via ``compiled=True`` (interpreted when Numba is
-  absent — same code path, minus the JIT) and must reproduce the
-  reference paths bit for bit;
+  (:mod:`repro.accel`: FM unit pass, HEM greedy tail, FLUSIM release,
+  contraction merge, FM degree recomputation) are forced on via
+  ``compiled=True`` (interpreted when Numba is absent — same code
+  path, minus the JIT) and must reproduce the reference paths bit for
+  bit;
+* **out-of-core differentials** — every mesh case's dual graph is
+  rebuilt with the streaming engine at an adversarial chunk size and
+  must equal the materialized oracle array for array, and every graph
+  case is re-partitioned under a forced ``REPRO_HIERARCHY_BUDGET=1``
+  spill budget with bit-identical labels;
 * **DAG checks** — every mesh decomposition is expanded into Euler and
   Heun task graphs and audited with
   :func:`repro.taskgraph.verify.verify_dag`;
@@ -229,6 +235,90 @@ def _check_fm(
         )
 
 
+def _check_multilevel_kernels(
+    report: FuzzReport, seed: int, case: str, g: CSRGraph
+) -> None:
+    """Differential: the contraction-merge and degree-recomputation
+    kernels forced on must be bit-identical to the NumPy paths."""
+    if g.num_vertices < 2:
+        return
+    report.differential_checks += 1
+    from ..graph.coarsen import contract
+    from ..graph.refine import _degrees
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(seed, case, check, detail))
+
+    match = heavy_edge_matching(g, np.random.default_rng(seed))
+    ref = contract(g, match, compiled=False)
+    forced = contract(g, match, compiled=True)
+    same = (
+        np.array_equal(ref.graph.xadj, forced.graph.xadj)
+        and np.array_equal(ref.graph.adjncy, forced.graph.adjncy)
+        and np.array_equal(ref.graph.adjwgt, forced.graph.adjwgt)
+        and np.array_equal(ref.graph.vwgt, forced.graph.vwgt)
+        and ref.graph.adjncy.dtype == forced.graph.adjncy.dtype
+    )
+    if not same:
+        fail(
+            "contract-compiled",
+            "compiled-tier contraction merge diverged from the NumPy "
+            "path",
+        )
+    part = (
+        np.random.default_rng(seed).random(g.num_vertices) < 0.5
+    ).astype(np.int32)
+    i0, e0 = _degrees(g, part, compiled=False)
+    i1, e1 = _degrees(g, part, compiled=True)
+    if not (np.array_equal(i0, i1) and np.array_equal(e0, e1)):
+        fail(
+            "degrees-compiled",
+            "compiled-tier degree recomputation diverged from bincount",
+        )
+
+
+def _check_spill_path(
+    report: FuzzReport,
+    seed: int,
+    case: str,
+    g: CSRGraph,
+    nparts: int,
+) -> None:
+    """Differential: a forced 1-byte hierarchy spill budget must leave
+    the labels bit-identical to the in-memory V-cycle."""
+    if g.num_vertices < 1 or nparts < 1 or nparts > g.num_vertices:
+        return
+    report.differential_checks += 1
+    import os as _os
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(seed, case, check, detail))
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            base = partition_graph(g, nparts, seed=seed)
+            prev = _os.environ.get("REPRO_HIERARCHY_BUDGET")
+            _os.environ["REPRO_HIERARCHY_BUDGET"] = "1"
+            try:
+                spilled = partition_graph(g, nparts, seed=seed)
+            finally:
+                if prev is None:
+                    del _os.environ["REPRO_HIERARCHY_BUDGET"]
+                else:
+                    _os.environ["REPRO_HIERARCHY_BUDGET"] = prev
+        except (ValueError, PartitionError):
+            return  # rejection behaviour is the contract stage's job
+    if not np.array_equal(base.part, spilled.part):
+        fail(
+            "spill-labels",
+            f"forced-spill labels diverged (nparts={nparts}, base cut "
+            f"{base.cut:g}, spilled cut {spilled.cut:g})",
+        )
+    if base.spill != {}:
+        fail("spill-provenance", "spill stats recorded without a budget")
+
+
 def _check_dtype_paths(
     report: FuzzReport,
     seed: int,
@@ -364,6 +454,15 @@ def _fuzz_graph_case(report: FuzzReport, seed: int, case: GraphCase) -> None:
     if case.graph.num_vertices <= 400:
         _check_matching(report, seed, name, case.graph)
         _check_fm(report, seed, name, case.graph)
+        _check_multilevel_kernels(report, seed, name, case.graph)
+        if case.nparts:
+            _check_spill_path(
+                report,
+                seed,
+                name,
+                case.graph,
+                case.nparts[(seed + 1) % len(case.nparts)],
+            )
 
 
 def _check_downstream(
@@ -433,10 +532,46 @@ def _check_downstream(
         fail(f"flusim-{scheduler}-batched-compiled", "; ".join(diffs[:3]))
 
 
+def _check_streaming_dual(
+    report: FuzzReport, seed: int, name: str, mesh
+) -> None:
+    """Differential: the streaming dual builder vs the materialized
+    oracle, at an adversarial (non-power-of-two) chunk size."""
+    from ..mesh.dual import mesh_to_dual_graph
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(seed, name, check, detail))
+
+    chunk = 1 + seed % 7  # tiny odd windows stress the cursor carry
+    for edge_weight in ("unit", "area"):
+        report.differential_checks += 1
+        ref = mesh_to_dual_graph(
+            mesh, edge_weight=edge_weight, engine="materialized"
+        )
+        got = mesh_to_dual_graph(
+            mesh,
+            edge_weight=edge_weight,
+            engine="streaming",
+            chunk_faces=chunk,
+        )
+        same = (
+            np.array_equal(ref.xadj, got.xadj)
+            and np.array_equal(ref.adjncy, got.adjncy)
+            and np.array_equal(ref.adjwgt, got.adjwgt)
+        )
+        if not same:
+            fail(
+                f"dual-streaming-{edge_weight}",
+                f"streaming dual (chunk_faces={chunk}) diverged from "
+                "the materialized oracle",
+            )
+
+
 def _fuzz_mesh_case(report: FuzzReport, seed: int, case: MeshCase) -> None:
     from ..partitioning.strategies import STRATEGIES, make_decomposition
 
     name = f"mesh:{case.name}"
+    _check_streaming_dual(report, seed, name, case.mesh)
     n = case.mesh.num_cells
     strategies = sorted(STRATEGIES)
     downstream_strat = strategies[seed % len(strategies)]

@@ -15,14 +15,22 @@ balanced initial partitions reachable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..accel import kernels_active
 from .csr import CSRGraph
 
-__all__ = ["CoarseningLevel", "heavy_edge_matching", "contract", "coarsen_once"]
+__all__ = [
+    "CoarseningLevel",
+    "HierarchySpill",
+    "heavy_edge_matching",
+    "contract",
+    "coarsen_once",
+]
 
 
 @dataclass
@@ -32,14 +40,139 @@ class CoarseningLevel:
     Attributes
     ----------
     graph:
-        The *coarse* graph produced at this level.
+        The *coarse* graph produced at this level, or ``None`` while
+        the level is spilled to disk (see :class:`HierarchySpill`).
     cmap:
         ``(n_fine,)`` array mapping every fine vertex to its coarse
-        vertex index.
+        vertex index.  Projection maps always stay in RAM — only the
+        CSR arrays spill.
+    spill_handle:
+        Owner handle of the mmap spill file while the level is
+        spilled (``None`` otherwise).
     """
 
-    graph: CSRGraph
+    graph: CSRGraph | None
     cmap: np.ndarray
+    spill_handle: object | None = field(default=None, repr=False)
+
+
+def _csr_nbytes(g: CSRGraph) -> int:
+    """Resident bytes of a graph's four CSR arrays."""
+    return g.xadj.nbytes + g.adjncy.nbytes + g.vwgt.nbytes + g.adjwgt.nbytes
+
+
+class HierarchySpill:
+    """Byte-budgeted spill policy for the coarsening hierarchy.
+
+    Multilevel V-cycles hold every coarsening level's graph alive from
+    the moment it is built until its uncoarsening step — roughly one
+    extra copy of the fine graph spread over the hierarchy.  Past a
+    configurable byte budget this policy writes *idle* levels (any
+    level that is neither the active coarsening input nor the current
+    uncoarsening target) to mmap spill files through the
+    :class:`~repro.graph.shared.SharedCSR` backend, keeping only the
+    active level plus the projection maps in RAM.  Spilled levels are
+    reattached read-only for their uncoarsening step and the file is
+    unlinked immediately after use.
+
+    The budget comes from ``budget`` (bytes, or a string like
+    ``"512M"``) or, when ``None``, the ``REPRO_HIERARCHY_BUDGET``
+    environment variable; an unset/empty budget disables spilling
+    entirely (the policy is then a no-op and the V-cycle is unchanged).
+    Spilling never changes results: the reloaded arrays are
+    byte-for-byte the spilled ones, so labels are bit-identical to the
+    in-memory path.
+
+    One instance may be shared across concurrent bisection-tree nodes
+    (the thread path of recursive bisection); the counters are
+    lock-protected.  ``stats()`` reports spill/attach counts and bytes
+    for :class:`~repro.graph.partition.PartitionResult` provenance.
+    """
+
+    def __init__(self, budget: int | str | None = None):
+        if budget is None:
+            budget = os.environ.get("REPRO_HIERARCHY_BUDGET") or None
+        from ..pipeline.locking import parse_bytes
+
+        self.budget = parse_bytes(budget)
+        self.spills = 0
+        self.attaches = 0
+        self.spilled_bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a budget is configured (no budget → no-op)."""
+        return self.budget is not None
+
+    def stats(self) -> dict:
+        """Provenance snapshot: budget and spill/attach counters."""
+        with self._lock:
+            return {
+                "budget_bytes": self.budget,
+                "spills": self.spills,
+                "attaches": self.attaches,
+                "spilled_bytes": self.spilled_bytes,
+            }
+
+    def absorb(self, stats: dict) -> None:
+        """Fold a worker process's :meth:`stats` into this instance."""
+        with self._lock:
+            self.spills += int(stats.get("spills", 0))
+            self.attaches += int(stats.get("attaches", 0))
+            self.spilled_bytes += int(stats.get("spilled_bytes", 0))
+
+    # ------------------------------------------------------------------
+    def offload(self, lvl: CoarseningLevel, resident: int) -> int:
+        """Spill ``lvl`` if keeping it would exceed the byte budget.
+
+        ``resident`` is the caller's running total of idle in-RAM
+        hierarchy bytes; the updated total is returned (unchanged when
+        the level was spilled, since its graph left RAM).
+        """
+        if not self.enabled or lvl.graph is None:
+            return resident
+        nbytes = _csr_nbytes(lvl.graph)
+        if resident + nbytes <= self.budget:
+            return resident + nbytes
+        from .shared import _SPILL_PREFIX, SharedCSR
+
+        handle = SharedCSR.from_graph(
+            lvl.graph, backend="mmap", prefix=_SPILL_PREFIX
+        )
+        handle.close()  # drop this process's mapping; the file persists
+        lvl.spill_handle = handle
+        lvl.graph = None
+        with self._lock:
+            self.spills += 1
+            self.spilled_bytes += nbytes
+        return resident
+
+    def reload(self, lvl: CoarseningLevel):
+        """Reattach a spilled level for its uncoarsening step.
+
+        Returns ``(graph, reader)``: zero-copy read-only views over the
+        re-mapped spill file and the reader to close afterwards (via
+        :meth:`release`).  For a level that never spilled, returns its
+        in-RAM graph and ``None``.
+        """
+        if lvl.graph is not None:
+            return lvl.graph, None
+        from .shared import SharedCSR
+
+        reader = SharedCSR.attach(lvl.spill_handle.descriptor())
+        with self._lock:
+            self.attaches += 1
+        return reader.graph(), reader
+
+    @staticmethod
+    def release(lvl: CoarseningLevel, reader) -> None:
+        """Unmap and unlink a reloaded level's spill file (idempotent)."""
+        if reader is not None:
+            reader.close()
+        if lvl.spill_handle is not None:
+            lvl.spill_handle.unlink()
+            lvl.spill_handle = None
 
 
 def _segmented_max(score: np.ndarray, starts: np.ndarray) -> np.ndarray:
@@ -262,12 +395,19 @@ def heavy_edge_matching(
     return match
 
 
-def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
+def contract(
+    g: CSRGraph, match: np.ndarray, *, compiled: bool | None = None
+) -> CoarseningLevel:
     """Contract a matching into a coarse graph.
 
     Matched pairs become single coarse vertices whose weight vectors
     are summed; parallel coarse edges are merged with summed weights;
     internal (contracted) edges disappear.
+
+    ``compiled`` selects the kernel tier (see :mod:`repro.accel`) for
+    the parallel-edge merge — a counting-sort kernel reproducing the
+    stable argsort + run-sum bit for bit; ``None`` consults
+    ``REPRO_COMPILED``.
     """
     n = g.num_vertices
     # Assign coarse ids: the smaller endpoint of each pair labels it.
@@ -286,23 +426,40 @@ def contract(g: CSRGraph, match: np.ndarray) -> CoarseningLevel:
     keep = csrc != cdst  # drop contracted (now internal) edges
     csrc, cdst, w = csrc[keep], cdst[keep], g.adjwgt[keep]
 
-    # Merge parallel edges: sort by (src, dst) and sum runs.
-    key = csrc * np.int64(nc) + cdst
-    order = np.argsort(key, kind="stable")
-    key, csrc, cdst, w = key[order], csrc[order], cdst[order], w[order]
-    if len(key):
-        first = np.ones(len(key), dtype=bool)
-        first[1:] = key[1:] != key[:-1]
-        group = np.cumsum(first) - 1
-        gw = np.bincount(group, weights=w, minlength=group[-1] + 1)
-        gsrc = csrc[first]
-        gdst = cdst[first]
-    else:
-        gw = np.empty(0, dtype=np.float64)
-        gsrc = gdst = np.empty(0, dtype=np.int64)
-
     xadj = np.zeros(nc + 1, dtype=np.int64)
-    xadj[1:] = np.bincount(gsrc, minlength=nc)
+    if len(csrc) and kernels_active(compiled):
+        from ..accel.kernels import contract_merge
+
+        gsrc = np.empty(len(csrc), dtype=np.int64)
+        gdst = np.empty(len(csrc), dtype=np.int64)
+        gw = np.empty(len(csrc), dtype=np.float64)
+        ng = contract_merge(
+            np.ascontiguousarray(csrc, dtype=np.int64),
+            np.ascontiguousarray(cdst, dtype=np.int64),
+            w.astype(np.float64, copy=False),
+            nc,
+            gsrc,
+            gdst,
+            gw,
+            xadj[1:],
+        )
+        gsrc, gdst, gw = gsrc[:ng], gdst[:ng], gw[:ng]
+    else:
+        # Merge parallel edges: sort by (src, dst) and sum runs.
+        key = csrc * np.int64(nc) + cdst
+        order = np.argsort(key, kind="stable")
+        key, csrc, cdst, w = key[order], csrc[order], cdst[order], w[order]
+        if len(key):
+            first = np.ones(len(key), dtype=bool)
+            first[1:] = key[1:] != key[:-1]
+            group = np.cumsum(first) - 1
+            gw = np.bincount(group, weights=w, minlength=group[-1] + 1)
+            gsrc = csrc[first]
+            gdst = cdst[first]
+        else:
+            gw = np.empty(0, dtype=np.float64)
+            gsrc = gdst = np.empty(0, dtype=np.int64)
+        xadj[1:] = np.bincount(gsrc, minlength=nc)
     np.cumsum(xadj, out=xadj)
     # Indices stay narrowed on int32 graphs; the summed coarse weights
     # stay float64 in all cases so both storage widths see the exact
@@ -327,4 +484,4 @@ def coarsen_once(
     match = heavy_edge_matching(
         g, rng, balance_constraints=balance_constraints, **kwargs
     )
-    return contract(g, match)
+    return contract(g, match, compiled=compiled)

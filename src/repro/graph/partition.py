@@ -28,6 +28,7 @@ import numpy as np
 
 from ..resilience.errors import PartitionQualityError
 from .bisect import multilevel_bisect
+from .coarsen import HierarchySpill
 from .contracts import (
     apportion_parts,
     block_partition,
@@ -132,6 +133,14 @@ class PartitionResult:
         narrowed and wide paths produce bit-identical labels (enforced
         by the fuzz differential stage), so this is provenance, not a
         behavioural switch.
+    spill:
+        Hierarchy-spill provenance when ``REPRO_HIERARCHY_BUDGET`` set
+        a byte budget: ``{"budget_bytes", "spills", "attaches",
+        "spilled_bytes"}`` from :class:`~repro.graph.coarsen.
+        HierarchySpill.stats`.  Empty when spilling was disabled.  Like
+        ``dtypes``, this records *how* the labels were produced, never
+        *which* labels — the spilled and in-memory paths are
+        bit-identical.
     """
 
     part: np.ndarray
@@ -141,6 +150,7 @@ class PartitionResult:
     provenance: str = "primary"
     violations: tuple[str, ...] = field(default_factory=tuple)
     dtypes: dict[str, str] = field(default_factory=dict)
+    spill: dict = field(default_factory=dict)
 
 
 def _repair_split(
@@ -177,21 +187,25 @@ def _shared_bisect_node(
     segment.
 
     The task payload is the descriptor plus the vertex subset — never
-    the graph itself.  Returns ``(leaves, tasks, attach_event)`` where
-    ``leaves`` are final ``(vertices, label)`` assignments for the
-    parent to apply, ``tasks`` are the two child subproblems, and
-    ``attach_event`` is ``(pid, segment_name)`` when this call was the
-    process's first and actually attached the segment.
+    the graph itself.  Returns ``(leaves, tasks, attach_event,
+    spill_stats)`` where ``leaves`` are final ``(vertices, label)``
+    assignments for the parent to apply, ``tasks`` are the two child
+    subproblems, ``attach_event`` is ``(pid, segment_name)`` when this
+    call was the process's first and actually attached the segment, and
+    ``spill_stats`` reports hierarchy-spill counters (``None`` when
+    ``REPRO_HIERARCHY_BUDGET`` is unset — workers inherit the budget
+    through the environment).
     """
     from .shared import attached_graph
 
     g, fresh = attached_graph(desc)
     event = (os.getpid(), desc["name"]) if fresh else None
     if k <= 1:
-        return [(vertices, first)], [], event
+        return [(vertices, first)], [], event, None
     k0 = (k + 1) // 2
     k1 = k - k0
     sub, mapping = g.subgraph(vertices)
+    spill = HierarchySpill()
     labels = multilevel_bisect(
         sub,
         k0 / k,
@@ -199,6 +213,7 @@ def _shared_bisect_node(
         imbalance_tol=level_tol,
         max_passes=max_passes,
         init_trials=init_trials,
+        spill=spill if spill.enabled else None,
     )
     left = mapping[labels == 0]
     right = mapping[labels == 1]
@@ -208,6 +223,7 @@ def _shared_bisect_node(
         [],
         [(left, first, k0, r_left), (right, first + k0, k1, r_right)],
         event,
+        spill.stats() if spill.enabled else None,
     )
 
 
@@ -222,6 +238,7 @@ def recursive_bisection(
     n_jobs: int | None = 1,
     executor: str | None = None,
     attach_log: list | None = None,
+    spill: HierarchySpill | None = None,
 ) -> np.ndarray:
     """Recursive-bisection partitioning (the paper's method of choice).
 
@@ -242,6 +259,12 @@ def recursive_bisection(
     below ~200k vertices, processes above).  ``attach_log``, when a
     list, collects ``(pid, segment_name)`` events proving workers
     attached the shared segment.
+
+    ``spill``, when given (and enabled), byte-budgets the coarsening
+    hierarchy of every bisection-tree node — see
+    :class:`~repro.graph.coarsen.HierarchySpill`.  Process-pool
+    workers build their own policy from ``REPRO_HIERARCHY_BUDGET`` and
+    their counters are folded into ``spill``.
     """
     n = g.num_vertices
     part = np.zeros(n, dtype=np.int32)
@@ -276,6 +299,7 @@ def recursive_bisection(
                 imbalance_tol=level_tol,
                 max_passes=max_passes,
                 init_trials=init_trials,
+                spill=spill,
             )
             left = mapping[labels == 0]
             right = mapping[labels == 1]
@@ -304,6 +328,7 @@ def recursive_bisection(
             imbalance_tol=level_tol,
             max_passes=max_passes,
             init_trials=init_trials,
+            spill=spill,
         )
         left = mapping[labels == 0]
         right = mapping[labels == 1]
@@ -339,9 +364,11 @@ def recursive_bisection(
                         pending, return_when=FIRST_COMPLETED
                     )
                     for fut in done:
-                        leaves, tasks, event = fut.result()
+                        leaves, tasks, event, wstats = fut.result()
                         if event is not None and attach_log is not None:
                             attach_log.append(event)
+                        if wstats is not None and spill is not None:
+                            spill.absorb(wstats)
                         for vertices, label in leaves:
                             part[vertices] = label
                         for task in tasks:
@@ -382,6 +409,7 @@ def kway_direct(
     max_passes: int = 8,
     n_jobs: int | None = 1,
     executor: str | None = None,
+    spill: HierarchySpill | None = None,
 ) -> np.ndarray:
     """Direct k-way partitioning via recursive bisection followed by a
     round of pairwise k-way FM sweeps between adjacent parts.
@@ -399,6 +427,7 @@ def kway_direct(
         max_passes=max_passes,
         n_jobs=n_jobs,
         executor=executor,
+        spill=spill,
     )
     if nparts <= 2:
         return part
@@ -450,6 +479,7 @@ def _run_method(
     init_trials: int,
     n_jobs: int | None,
     executor: str | None = None,
+    spill: HierarchySpill | None = None,
 ) -> np.ndarray:
     rng = np.random.default_rng(seed)
     if method == "recursive":
@@ -462,6 +492,7 @@ def _run_method(
             init_trials=init_trials,
             n_jobs=n_jobs,
             executor=executor,
+            spill=spill,
         )
     if method == "kway":
         return kway_direct(
@@ -472,6 +503,7 @@ def _run_method(
             max_passes=max_passes,
             n_jobs=n_jobs,
             executor=executor,
+            spill=spill,
         )
     raise ValueError(f"unknown method {method!r}")
 
@@ -489,6 +521,7 @@ def _partition_components(
     init_trials: int,
     n_jobs: int | None,
     executor: str | None = None,
+    spill: HierarchySpill | None = None,
 ) -> np.ndarray:
     """Component-aware partitioning of a disconnected graph.
 
@@ -546,6 +579,7 @@ def _partition_components(
                 init_trials=init_trials,
                 n_jobs=n_jobs,
                 executor=executor,
+                spill=spill,
             )
             part[mapping] = next_label + labels
         next_label += k
@@ -634,6 +668,7 @@ def partition_graph(
                 f"{g.num_vertices} vertices"
             )
 
+    spill = HierarchySpill()
     kernel = dict(
         method=method,
         seed=seed,
@@ -642,6 +677,7 @@ def partition_graph(
         init_trials=init_trials,
         n_jobs=n_jobs,
         executor=executor,
+        spill=spill if spill.enabled else None,
     )
 
     provenance = "primary"
@@ -699,6 +735,7 @@ def partition_graph(
             "adjwgt": str(g.adjwgt.dtype),
             "part": str(part.dtype),
         },
+        spill=spill.stats() if spill.enabled else {},
     )
 
 

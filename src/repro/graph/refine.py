@@ -35,9 +35,30 @@ __all__ = ["fm_refine", "rebalance"]
 _INF = float("inf")
 
 
-def _degrees(g: CSRGraph, part: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Internal/external degrees of every vertex w.r.t. a bisection."""
+def _degrees(
+    g: CSRGraph, part: np.ndarray, compiled: bool | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Internal/external degrees of every vertex w.r.t. a bisection.
+
+    The kernel tier (see :mod:`repro.accel`) accumulates per vertex in
+    CSR edge order — the identical sequential float64 order as the
+    ``np.bincount`` reference, so the degrees are bit-identical.
+    """
     n = g.num_vertices
+    if kernels_active(compiled):
+        from ..accel.kernels import fm_degrees
+
+        ideg = np.zeros(n, dtype=np.float64)
+        edeg = np.zeros(n, dtype=np.float64)
+        fm_degrees(
+            g.xadj.astype(np.int64, copy=False),
+            g.adjncy.astype(np.int64, copy=False),
+            g.adjwgt.astype(np.float64, copy=False),
+            part.astype(np.int64, copy=False),
+            ideg,
+            edeg,
+        )
+        return ideg, edeg
     src = g.edge_sources()
     same = part[src] == part[g.adjncy]
     w = g.adjwgt
@@ -219,7 +240,7 @@ def fm_refine(
     awt_l: list | None = None if use_buckets else g.adjwgt.tolist()
 
     # Degrees and cut are maintained incrementally from here on.
-    ideg_a, edeg_a = _degrees(g, part)
+    ideg_a, edeg_a = _degrees(g, part, compiled=compiled)
     ideg: list = ideg_a.tolist()
     edeg: list = edeg_a.tolist()
     cur_cut = float(edeg_a.sum()) / 2.0
@@ -487,7 +508,7 @@ def _fm_refine_fast(
     adjncy = g.adjncy.astype(np.int64, copy=False)
     part64 = part.astype(np.int64)
 
-    ideg, edeg = _degrees(g, part)
+    ideg, edeg = _degrees(g, part, compiled=True)
     cur_cut = float(edeg.sum()) / 2.0
     boundary = np.flatnonzero(edeg > 0)
 
@@ -564,6 +585,7 @@ def rebalance(
     target_frac: float = 0.5,
     imbalance_tol: float = 1.05,
     max_moves: int | None = None,
+    compiled: bool | None = None,
 ) -> np.ndarray:
     """Repair an infeasible bisection by explicit balancing moves.
 
@@ -584,7 +606,7 @@ def rebalance(
     if max_moves is None:
         max_moves = n
 
-    ideg, edeg = _degrees(g, part)
+    ideg, edeg = _degrees(g, part, compiled=compiled)
     locked = np.zeros(n, dtype=bool)
     moves = 0
 

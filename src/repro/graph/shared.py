@@ -22,7 +22,8 @@ segment via ``weakref.finalize`` (which also runs at interpreter
 exit), so worker crashes cannot leak ``/dev/shm`` entries — only the
 parent owns the segment's lifetime.  And because a finalizer cannot
 survive ``SIGKILL``, segment names embed the owning pid
-(``repro-shm-<pid>-<hex>`` / ``repro_csr_<pid>_...``): a killed
+(``repro-shm-<pid>-<hex>`` / ``repro_csr_<pid>_...`` /
+``repro_spill_<pid>_...`` for spilled coarsening levels): a killed
 parent's leftovers are recognisably stale (dead pid) and reclaimed by
 :func:`sweep_stale_segments` — run automatically once per process
 before the first segment is created (disable with
@@ -55,8 +56,13 @@ __all__ = [
 #: tell live segments from the litter of killed processes.
 _SHM_PREFIX = "repro-shm-"
 _MMAP_PREFIX = "repro_csr_"
+#: Spilled coarsening-hierarchy levels (see
+#: :class:`repro.graph.coarsen.HierarchySpill`) use the same mmap
+#: machinery under their own prefix, so the sweep can reclaim them too.
+_SPILL_PREFIX = "repro_spill_"
 _SHM_RE = re.compile(r"^repro-shm-(\d+)-[0-9a-f]+$")
 _MMAP_RE = re.compile(r"^repro_csr_(\d+)_.*$")
+_SPILL_RE = re.compile(r"^repro_spill_(\d+)_.*$")
 _SHM_DIR = Path("/dev/shm")
 
 _ALIGN = 64
@@ -146,9 +152,18 @@ class SharedCSR:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, g: CSRGraph, *, backend: str | None = None
+        cls,
+        g: CSRGraph,
+        *,
+        backend: str | None = None,
+        prefix: str | None = None,
     ) -> "SharedCSR":
-        """Pack ``g``'s CSR arrays into one new shared segment."""
+        """Pack ``g``'s CSR arrays into one new shared segment.
+
+        ``prefix`` overrides the mmap spill-file prefix (the hierarchy
+        spiller uses ``repro_spill_``); it must be one of the prefixes
+        the stale sweep recognises.
+        """
         backend = _resolve_backend(backend)
         arrays = {
             "xadj": g.xadj,
@@ -178,7 +193,8 @@ class SharedCSR:
                 backend = "mmap"
         if backend == "mmap":
             fd, path = tempfile.mkstemp(
-                prefix=f"{_MMAP_PREFIX}{os.getpid()}_", suffix=".bin"
+                prefix=f"{prefix or _MMAP_PREFIX}{os.getpid()}_",
+                suffix=".bin",
             )
             os.close(fd)
             with open(path, "wb") as fh:
@@ -353,14 +369,17 @@ def stale_segments() -> list[Path]:
     """Shared segments whose owning process is dead.
 
     Scans ``/dev/shm`` for ``repro-shm-<pid>-*`` entries and the
-    tempdir for ``repro_csr_<pid>_*`` spill files; an entry is stale
+    tempdir for ``repro_csr_<pid>_*`` shared-graph spill files and
+    ``repro_spill_<pid>_*`` hierarchy spill files; an entry is stale
     when its embedded pid no longer exists.  Only this naming scheme is
     considered — foreign segments are never touched.
     """
     stale: list[Path] = []
+    tmp = Path(tempfile.gettempdir())
     for directory, pattern in (
         (_SHM_DIR, _SHM_RE),
-        (Path(tempfile.gettempdir()), _MMAP_RE),
+        (tmp, _MMAP_RE),
+        (tmp, _SPILL_RE),
     ):
         try:
             entries = list(directory.iterdir())

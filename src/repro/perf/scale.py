@@ -23,14 +23,15 @@ expansion (it runs for minutes); invoke it explicitly with
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from ..graph.metrics import edge_cut
 from ..graph.partition import partition_graph, recursive_bisection
-from ..mesh.dual import mesh_to_dual_graph
-from ..mesh.generators import uniform_mesh
+from ..mesh.dual import mesh_to_dual_graph, resolve_dual_engine
+from ..mesh.generators import cylinder_mesh, uniform_mesh
 from .common import (
     compare_results,
     load_baseline,
@@ -48,12 +49,15 @@ __all__ = [
     "compare_results",
 ]
 
-#: Benchmark sizes: quadtree depth of the uniform mesh (4**depth
-#: cells).  ``full`` is the paper-scale rung (≥1M cells); ``smoke``
-#: (~262k) is what the CI ``scale_smoke`` job runs.
+#: Benchmark sizes.  ``smoke``/``full`` are uniform quadtree meshes
+#: (4**depth cells); ``paper`` is the adaptively refined cylinder mesh
+#: at the depth whose cell count brackets the paper's 6.4M-cell
+#: CYLINDER case — the out-of-core rung (streaming dual + spillable
+#: hierarchy) exists to make this size fit.
 SIZES = {
-    "full": dict(depth=10),  # 1,048,576 cells
-    "smoke": dict(depth=9),  # 262,144 cells
+    "full": dict(depth=10, mesh="uniform"),  # 1,048,576 cells
+    "smoke": dict(depth=9, mesh="uniform"),  # 262,144 cells
+    "paper": dict(depth=14, mesh="cylinder"),  # ≈6.5M cells
 }
 
 
@@ -90,15 +94,31 @@ def run_benchmarks(
     counted and recorded.  Parallel labels are deterministic across
     worker counts and backends but intentionally differ from the
     serial stream (each tree node spawns its own generator), so the
-    stages are compared on cut quality, not label equality.
+    stages are compared on cut quality, not label equality.  On a
+    machine with fewer than two CPUs the parallel leg is skipped with
+    a reason (its timing would measure pool overhead, not speedup, and
+    a ``parallel_speedup < 1`` row would gate later comparisons on
+    pure noise — the same policy as the kway suite).
+
+    Every case records ``cpus`` (the machine's CPU count) and the dual
+    engine in effect; when ``REPRO_HIERARCHY_BUDGET`` is set, the
+    serial partition stage also records the hierarchy spill counters.
     """
     del repeats
     if size not in SIZES:
         raise ValueError(f"unknown benchmark size {size!r}")
-    depth = SIZES[size]["depth"]
+    spec = SIZES[size]
+    depth = spec["depth"]
+    mesh_kind = spec.get("mesh", "uniform")
     n_jobs = max(2, n_jobs)
+    cpus = os.cpu_count() or 1
 
-    mesh, mesh_s, mesh_rss = _stage(lambda: uniform_mesh(depth=depth))
+    if mesh_kind == "cylinder":
+        mesh, mesh_s, mesh_rss = _stage(
+            lambda: cylinder_mesh(max_depth=depth)
+        )
+    else:
+        mesh, mesh_s, mesh_rss = _stage(lambda: uniform_mesh(depth=depth))
     cells = len(mesh.cell_volumes)
 
     g, dual_s, dual_rss = _stage(
@@ -108,28 +128,58 @@ def run_benchmarks(
     serial, serial_s, serial_rss = _stage(
         lambda: partition_graph(g, nparts, seed=seed, n_jobs=1)
     )
+    serial_stage = {
+        "seconds": serial_s,
+        "cells_per_s": cells / serial_s,
+        "peak_rss_mib": serial_rss,
+        "cut": serial.cut,
+        "imbalance": float(serial.imbalance.max()),
+        "dtypes": serial.dtypes,
+    }
+    if serial.spill:
+        serial_stage["spill"] = serial.spill
 
-    attach_log: list = []
-    par_labels, par_s, par_rss = _stage(
-        lambda: recursive_bisection(
-            g,
-            nparts,
-            np.random.default_rng(seed),
-            n_jobs=n_jobs,
-            executor="process",
-            attach_log=attach_log,
+    if cpus < 2:
+        parallel_stage = {
+            "skipped": True,
+            "reason": (
+                f"os.cpu_count()={cpus} < 2: a parallel timing would "
+                "measure pool overhead, not speedup"
+            ),
+        }
+    else:
+        attach_log: list = []
+        par_labels, par_s, par_rss = _stage(
+            lambda: recursive_bisection(
+                g,
+                nparts,
+                np.random.default_rng(seed),
+                n_jobs=n_jobs,
+                executor="process",
+                attach_log=attach_log,
+            )
         )
-    )
-    workers_attached = len({pid for pid, _ in attach_log})
-    par_cut = edge_cut(g, par_labels)
+        workers_attached = len({pid for pid, _ in attach_log})
+        par_cut = edge_cut(g, par_labels)
+        parallel_stage = {
+            "seconds": par_s,
+            "cells_per_s": cells / par_s,
+            "peak_rss_mib": par_rss,
+            "parallel_speedup": serial_s / par_s,
+            "workers_attached": workers_attached,
+            "cut": par_cut,
+            "cut_vs_serial": par_cut / serial.cut if serial.cut else 1.0,
+        }
 
     return {
         "size": size,
         "depth": depth,
+        "mesh": mesh_kind,
         "cells": cells,
         "faces": int(len(mesh.face_area)),
         "nparts": nparts,
         "n_jobs": n_jobs,
+        "cpus": cpus,
         "stages": {
             "mesh": {
                 "seconds": mesh_s,
@@ -142,24 +192,10 @@ def run_benchmarks(
                 "cells_per_s": cells / dual_s,
                 "peak_rss_mib": dual_rss,
                 "index_dtype": str(g.adjncy.dtype),
+                "engine": resolve_dual_engine(None),
             },
-            "partition_serial": {
-                "seconds": serial_s,
-                "cells_per_s": cells / serial_s,
-                "peak_rss_mib": serial_rss,
-                "cut": serial.cut,
-                "imbalance": float(serial.imbalance.max()),
-                "dtypes": serial.dtypes,
-            },
-            "partition_parallel": {
-                "seconds": par_s,
-                "cells_per_s": cells / par_s,
-                "peak_rss_mib": par_rss,
-                "parallel_speedup": serial_s / par_s,
-                "workers_attached": workers_attached,
-                "cut": par_cut,
-                "cut_vs_serial": par_cut / serial.cut if serial.cut else 1.0,
-            },
+            "partition_serial": serial_stage,
+            "partition_parallel": parallel_stage,
         },
         "chain_seconds": mesh_s + dual_s + serial_s,
         "chain_cells_per_s": cells / (mesh_s + dual_s + serial_s),
@@ -189,11 +225,23 @@ def format_report(result: dict) -> str:
         lines.append(
             f"[{size}] {case['cells']:,} cells, {case['faces']:,} faces, "
             f"{case['nparts']} parts"
+            + (f", {case['cpus']} cpu(s)" if "cpus" in case else "")
         )
         for name, st in case["stages"].items():
+            if st.get("skipped"):
+                lines.append(
+                    f"  {name:19s}: skipped ({st.get('reason', '?')})"
+                )
+                continue
             extra = ""
             if "index_dtype" in st:
                 extra = f"  adjncy={st['index_dtype']}"
+            if "spill" in st:
+                sp = st["spill"]
+                extra += (
+                    f"  spills={sp['spills']}"
+                    f" ({sp['spilled_bytes'] / 2**20:,.0f} MiB)"
+                )
             if "parallel_speedup" in st:
                 extra = (
                     f"  {st['parallel_speedup']:.2f}x vs serial, "

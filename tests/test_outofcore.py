@@ -1,0 +1,401 @@
+"""Tests for the out-of-core scale rung.
+
+Three surfaces introduced together: streaming dual construction
+(chunked two-pass count/fill, bit-identical to the materialized
+oracle), the byte-budgeted spillable coarsening hierarchy
+(``HierarchySpill`` + ``REPRO_HIERARCHY_BUDGET``), and the compiled
+kernels for coarsening contraction and FM degree recomputation — plus
+the honest scale-suite rows (per-case ``cpus``, skip-with-reason
+parallel legs) and the per-case memory gate they feed.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.graph.bisect import multilevel_bisect
+from repro.graph.coarsen import HierarchySpill, contract, heavy_edge_matching
+from repro.graph.partition import partition_graph
+from repro.graph.refine import _degrees
+from repro.graph.shared import stale_segments, sweep_stale_segments
+from repro.mesh.dual import (
+    DEFAULT_CHUNK_FACES,
+    mesh_to_dual_graph,
+    resolve_dual_engine,
+)
+from repro.mesh.generators import cylinder_mesh, uniform_mesh
+
+
+def _assert_same_graph(a: CSRGraph, b: CSRGraph) -> None:
+    np.testing.assert_array_equal(a.xadj, b.xadj)
+    np.testing.assert_array_equal(a.adjncy, b.adjncy)
+    np.testing.assert_array_equal(a.adjwgt, b.adjwgt)
+    assert a.adjncy.dtype == b.adjncy.dtype
+    assert a.adjwgt.dtype == b.adjwgt.dtype
+
+
+def _spill_litter() -> list[str]:
+    return glob.glob(os.path.join(tempfile.gettempdir(), "repro_spill_*"))
+
+
+# ----------------------------------------------------------------------
+# Streaming dual construction
+# ----------------------------------------------------------------------
+class TestStreamingDual:
+    @pytest.mark.parametrize("depth", [3, 5])  # odd depths
+    @pytest.mark.parametrize("chunk", [7, 1000, DEFAULT_CHUNK_FACES])
+    @pytest.mark.parametrize("edge_weight", ["unit", "area"])
+    def test_bit_identical_to_materialized(self, depth, chunk, edge_weight):
+        mesh = uniform_mesh(depth=depth)
+        ref = mesh_to_dual_graph(
+            mesh, edge_weight=edge_weight, engine="materialized"
+        )
+        got = mesh_to_dual_graph(
+            mesh,
+            edge_weight=edge_weight,
+            engine="streaming",
+            chunk_faces=chunk,
+        )
+        _assert_same_graph(ref, got)
+
+    def test_adaptive_mesh_and_narrowing(self):
+        mesh = cylinder_mesh(max_depth=6)
+        ref = mesh_to_dual_graph(
+            mesh, edge_weight="area", index_dtype="auto", engine="materialized"
+        )
+        got = mesh_to_dual_graph(
+            mesh,
+            edge_weight="area",
+            index_dtype="auto",
+            engine="streaming",
+            chunk_faces=997,  # prime chunk: windows never align with runs
+        )
+        _assert_same_graph(ref, got)
+        assert got.adjncy.dtype == np.int32
+
+    def test_weight_dtype_narrowing(self):
+        mesh = uniform_mesh(depth=4)
+        ref = mesh_to_dual_graph(
+            mesh,
+            edge_weight="area",
+            weight_dtype=np.float32,
+            engine="materialized",
+        )
+        got = mesh_to_dual_graph(
+            mesh,
+            edge_weight="area",
+            weight_dtype=np.float32,
+            engine="streaming",
+            chunk_faces=13,
+        )
+        _assert_same_graph(ref, got)
+        assert got.adjwgt.dtype == np.float32
+
+    def test_engine_resolution(self, monkeypatch):
+        assert resolve_dual_engine(None) == "streaming"
+        assert resolve_dual_engine("materialized") == "materialized"
+        monkeypatch.setenv("REPRO_DUAL_ENGINE", "materialized")
+        assert resolve_dual_engine(None) == "materialized"
+        with pytest.raises(ValueError, match="unknown dual engine"):
+            resolve_dual_engine("mmap")
+
+    def test_warm_adjacency_cache_reused_unless_explicit(self):
+        mesh = uniform_mesh(depth=3)
+        mesh.cell_adjacency()  # warm the cache
+        assert mesh._adjacency is not None
+        # Default engine serves the warm cache; explicit request streams.
+        cached = mesh_to_dual_graph(mesh)
+        streamed = mesh_to_dual_graph(mesh, engine="streaming")
+        _assert_same_graph(cached, streamed)
+
+
+# ----------------------------------------------------------------------
+# Spillable coarsening hierarchy
+# ----------------------------------------------------------------------
+class TestHierarchySpill:
+    def test_disabled_without_budget(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HIERARCHY_BUDGET", raising=False)
+        spill = HierarchySpill()
+        assert not spill.enabled
+        assert spill.stats()["budget_bytes"] is None
+
+    def test_budget_parsing(self):
+        assert HierarchySpill(budget="64K").budget == 64 * 1024
+        assert HierarchySpill(budget=123).budget == 123
+        assert HierarchySpill(budget="2M").enabled
+
+    def test_env_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HIERARCHY_BUDGET", "1M")
+        spill = HierarchySpill()
+        assert spill.budget == 1 << 20
+
+    def test_offload_reload_roundtrip(self):
+        g = mesh_to_dual_graph(uniform_mesh(depth=3))
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        lvl = contract(g, match)
+        want = lvl.graph
+        nbytes = (
+            want.xadj.nbytes
+            + want.adjncy.nbytes
+            + want.vwgt.nbytes
+            + want.adjwgt.nbytes
+        )
+        spill = HierarchySpill(budget=1)
+        assert spill.offload(lvl, 0) == 0  # spilled: nothing resident
+        assert lvl.graph is None
+        assert lvl.spill_handle is not None
+        assert spill.stats()["spills"] == 1
+        assert spill.stats()["spilled_bytes"] == nbytes
+        got, reader = spill.reload(lvl)
+        _assert_same_graph(want, got)
+        np.testing.assert_array_equal(want.vwgt, got.vwgt)
+        assert spill.stats()["attaches"] == 1
+        HierarchySpill.release(lvl, reader)
+        assert lvl.spill_handle is None
+        assert not _spill_litter()
+
+    def test_within_budget_stays_resident(self):
+        g = mesh_to_dual_graph(uniform_mesh(depth=3))
+        lvl = contract(g, heavy_edge_matching(g, np.random.default_rng(0)))
+        spill = HierarchySpill(budget="1G")
+        resident = spill.offload(lvl, 0)
+        assert resident > 0  # accounted, not spilled
+        assert lvl.graph is not None
+        assert spill.stats()["spills"] == 0
+
+    def test_multilevel_bisect_labels_bit_identical(self):
+        g = mesh_to_dual_graph(uniform_mesh(depth=5))
+        base = multilevel_bisect(g, 0.5, np.random.default_rng(7))
+        spill = HierarchySpill(budget=1)
+        forced = multilevel_bisect(
+            g, 0.5, np.random.default_rng(7), spill=spill
+        )
+        np.testing.assert_array_equal(base, forced)
+        assert spill.stats()["spills"] > 0
+        assert spill.stats()["attaches"] == spill.stats()["spills"]
+        assert not _spill_litter()
+
+    @pytest.mark.parametrize("method", ["recursive", "kway"])
+    def test_partition_graph_forced_spill(self, monkeypatch, method):
+        g = mesh_to_dual_graph(uniform_mesh(depth=5))
+        monkeypatch.delenv("REPRO_HIERARCHY_BUDGET", raising=False)
+        base = partition_graph(g, 6, seed=3, method=method)
+        assert base.spill == {}
+        monkeypatch.setenv("REPRO_HIERARCHY_BUDGET", "1")
+        res = partition_graph(g, 6, seed=3, method=method)
+        np.testing.assert_array_equal(base.part, res.part)
+        assert res.spill["spills"] > 0
+        assert res.spill["budget_bytes"] == 1
+        assert not _spill_litter()
+
+    def test_absorb_folds_worker_stats(self):
+        spill = HierarchySpill(budget=1)
+        spill.absorb({"spills": 2, "attaches": 2, "spilled_bytes": 100})
+        spill.absorb({"spills": 1, "attaches": 1, "spilled_bytes": 50})
+        st = spill.stats()
+        assert (st["spills"], st["attaches"], st["spilled_bytes"]) == (
+            3,
+            3,
+            150,
+        )
+
+
+# ----------------------------------------------------------------------
+# Stale spill files are swept with the other segments
+# ----------------------------------------------------------------------
+class TestSpillGc:
+    def test_stale_spill_file_swept(self):
+        dead = 2**22 + 12345  # beyond pid_max defaults: no such process
+        path = os.path.join(
+            tempfile.gettempdir(), f"repro_spill_{dead}_deadbeef"
+        )
+        with open(path, "wb") as f:
+            f.write(b"\0" * 16)
+        try:
+            names = [p.name for p in stale_segments()]
+            assert f"repro_spill_{dead}_deadbeef" in names
+            removed = sweep_stale_segments(remove=True)
+            assert f"repro_spill_{dead}_deadbeef" in removed
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_spill_file_kept(self):
+        path = os.path.join(
+            tempfile.gettempdir(), f"repro_spill_{os.getpid()}_alive"
+        )
+        with open(path, "wb") as f:
+            f.write(b"\0" * 16)
+        try:
+            names = [p.name for p in stale_segments()]
+            assert f"repro_spill_{os.getpid()}_alive" not in names
+        finally:
+            os.unlink(path)
+
+
+# ----------------------------------------------------------------------
+# Compiled kernels: contraction merge + degree recomputation
+# ----------------------------------------------------------------------
+class TestMultilevelKernels:
+    def test_contract_merge_bit_identical(self):
+        g = mesh_to_dual_graph(
+            uniform_mesh(depth=4), edge_weight="area", index_dtype="auto"
+        )
+        match = heavy_edge_matching(g, np.random.default_rng(1))
+        ref = contract(g, match, compiled=False)
+        ker = contract(g, match, compiled=True)
+        _assert_same_graph(ref.graph, ker.graph)
+        np.testing.assert_array_equal(ref.graph.vwgt, ker.graph.vwgt)
+        np.testing.assert_array_equal(ref.cmap, ker.cmap)
+
+    def test_contract_merge_empty_coarse_edges(self):
+        # Two matched vertices joined by one edge: the coarse graph has
+        # no edges at all, exercising the ng == 0 corner.
+        g = CSRGraph(
+            np.array([0, 1, 2]),
+            np.array([1, 0]),
+            vwgt=np.ones((2, 1)),
+            adjwgt=np.ones(2),
+        )
+        match = np.array([1, 0])
+        ref = contract(g, match, compiled=False)
+        ker = contract(g, match, compiled=True)
+        _assert_same_graph(ref.graph, ker.graph)
+
+    def test_degrees_bit_identical(self):
+        g = mesh_to_dual_graph(uniform_mesh(depth=4), edge_weight="area")
+        part = (np.random.default_rng(2).random(g.num_vertices) < 0.5).astype(
+            np.int32
+        )
+        i0, e0 = _degrees(g, part, compiled=False)
+        i1, e1 = _degrees(g, part, compiled=True)
+        np.testing.assert_array_equal(i0, i1)
+        np.testing.assert_array_equal(e0, e1)
+
+    def test_force_mode_end_to_end(self, monkeypatch):
+        """``REPRO_COMPILED=force`` must flip every kernel dispatch on
+        (interpreted without Numba) and leave the labels bit-identical."""
+        g = mesh_to_dual_graph(uniform_mesh(depth=4))
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        base = partition_graph(g, 4, seed=5)
+        monkeypatch.setenv("REPRO_COMPILED", "force")
+        forced = partition_graph(g, 4, seed=5)
+        np.testing.assert_array_equal(base.part, forced.part)
+
+    def test_force_mode_with_spill(self, monkeypatch):
+        """Kernel tier and spill tier compose: forcing both at once is
+        still bit-identical to the plain path."""
+        g = mesh_to_dual_graph(uniform_mesh(depth=4))
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        monkeypatch.delenv("REPRO_HIERARCHY_BUDGET", raising=False)
+        base = partition_graph(g, 4, seed=5)
+        monkeypatch.setenv("REPRO_COMPILED", "force")
+        monkeypatch.setenv("REPRO_HIERARCHY_BUDGET", "1")
+        forced = partition_graph(g, 4, seed=5)
+        np.testing.assert_array_equal(base.part, forced.part)
+        assert forced.spill["spills"] > 0
+        assert not _spill_litter()
+
+
+# ----------------------------------------------------------------------
+# Honest scale-suite rows + memory gates
+# ----------------------------------------------------------------------
+class TestScaleSuiteRows:
+    @pytest.fixture()
+    def tiny_sizes(self, monkeypatch):
+        from repro.perf import scale
+
+        monkeypatch.setitem(
+            scale.SIZES, "tiny", dict(depth=3, mesh="uniform")
+        )
+        return scale
+
+    def test_single_cpu_skips_parallel_with_reason(
+        self, tiny_sizes, monkeypatch
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        case = tiny_sizes.run_benchmarks(size="tiny")
+        assert case["cpus"] == 1
+        st = case["stages"]["partition_parallel"]
+        assert st["skipped"] is True
+        assert "cpu_count" in st["reason"]
+        # The report renders the skip instead of crashing on missing keys.
+        report = tiny_sizes.format_report({"cases": {"tiny": case}})
+        assert "skipped" in report
+
+    def test_multi_cpu_records_speedup_row(self, tiny_sizes, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        case = tiny_sizes.run_benchmarks(size="tiny")
+        assert case["cpus"] == 2
+        st = case["stages"]["partition_parallel"]
+        assert "parallel_speedup" in st and "cut_vs_serial" in st
+
+    def test_paper_size_registered(self):
+        from repro.perf.scale import SIZES
+
+        assert SIZES["paper"]["mesh"] == "cylinder"
+        assert SIZES["paper"]["depth"] == 14
+
+    def test_spill_row_recorded(self, tiny_sizes, monkeypatch):
+        # depth 5: deep enough (1024 cells vs coarse_to=64) to build a
+        # coarsening hierarchy that the 1-byte budget must spill.
+        monkeypatch.setitem(
+            tiny_sizes.SIZES, "tiny", dict(depth=5, mesh="uniform")
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_HIERARCHY_BUDGET", "1")
+        case = tiny_sizes.run_benchmarks(size="tiny")
+        st = case["stages"]["partition_serial"]
+        assert st["spill"]["spills"] > 0
+        report = tiny_sizes.format_report({"cases": {"tiny": case}})
+        assert "spills=" in report
+
+
+class TestMemoryGates:
+    def _envelope(self, cases, rss):
+        return {"schema": 1, "peak_rss_mib": rss, "cases": cases}
+
+    def test_skipped_rows_never_gate(self):
+        from repro.perf.common import compare_results
+
+        base = self._envelope(
+            {"full": {"p": {"fast_s": 0.1, "speedup": 2.0}}}, 100.0
+        )
+        cur = self._envelope({"full": {"p": {"skipped": True}}}, 100.0)
+        assert compare_results(base, cur) == []
+
+    def test_envelope_gate_requires_matching_coverage(self):
+        from repro.perf.common import compare_results
+
+        base = self._envelope({"smoke": {}, "paper": {}}, 100.0)
+        cur = self._envelope({"smoke": {}}, 1000.0)
+        # Different case sets: the 10x envelope blowup must NOT fire —
+        # the baseline high-water came from a case this run never ran.
+        assert compare_results(base, cur) == []
+        cur_full = self._envelope({"smoke": {}, "paper": {}}, 1000.0)
+        assert any(
+            "memory regression" in p for p in compare_results(base, cur_full)
+        )
+
+    def test_per_case_rss_gate(self):
+        from repro.perf.common import compare_results
+
+        base = self._envelope(
+            {"smoke": {"dual": {"peak_rss_mib": 100.0}}}, 0.0
+        )
+        cur = self._envelope(
+            {"smoke": {"dual": {"peak_rss_mib": 500.0}}}, 0.0
+        )
+        problems = compare_results(base, cur)
+        assert any("cases/smoke/dual" in p for p in problems)
+        ok = self._envelope(
+            {"smoke": {"dual": {"peak_rss_mib": 150.0}}}, 0.0
+        )
+        assert compare_results(base, ok) == []

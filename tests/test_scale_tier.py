@@ -362,6 +362,9 @@ class TestScaleSuite:
         from repro.perf import scale_suite
 
         monkeypatch.setitem(scale_suite.SIZES, "tiny", dict(depth=4))
+        # Pin >= 2 CPUs so the parallel leg runs even on 1-CPU boxes
+        # (where it is skipped-with-reason; covered in test_outofcore).
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
         case = scale_suite.run_benchmarks(size="tiny", n_jobs=2)
         assert case["cells"] == 4**4
         stages = case["stages"]
